@@ -1,0 +1,67 @@
+"""Benchmark: the §3.3 crossover between periodic and tickless.
+
+§3.3: "tickless kernels are preferable as long as the average idle
+period T_idle is longer than the average vCPU tick period divided by
+the number of vCPUs sharing the same physical CPU."
+
+Checked both analytically (closed form) and on the simulator: a
+nanosleep-driven workload sweeps the idle-period length; below the
+tick period the tickless guest takes *more* exits than the periodic
+one, above it fewer.
+"""
+
+from __future__ import annotations
+
+from repro.config import TickMode
+from repro.core.model import (
+    FORMULA_CONVENTION,
+    VmLoadModel,
+    crossover_idle_period_ns,
+    periodic_exits,
+    tickless_exits_from_idle_period,
+)
+from repro.experiments.runner import run_workload
+from repro.sim.timebase import MSEC, USEC
+from repro.workloads.micro import IdlePeriodWorkload
+
+
+def test_crossover_analytical(benchmark):
+    def sweep():
+        vm = VmLoadModel(vcpus=1, tick_hz=250, load=0.5)
+        out = {}
+        for t_idle_us in (100, 500, 2_000, 8_000, 32_000):
+            p = periodic_exits([vm], 1.0, FORMULA_CONVENTION)
+            t = tickless_exits_from_idle_period([vm], 1.0, t_idle_us / 1e6, FORMULA_CONVENTION)
+            out[t_idle_us] = (p, t)
+        return out
+
+    out = benchmark(sweep)
+    print("\nT_idle(us) -> (periodic, tickless) exits/s:", out)
+    cross_ns = crossover_idle_period_ns(4 * MSEC, 1.0)
+    assert cross_ns == 4 * MSEC  # 1:1 sharing: crossover at the tick period
+    # Below the crossover tickless is worse, above it better.
+    assert out[100][1] > out[100][0]
+    assert out[32_000][1] < out[32_000][0]
+
+
+def test_crossover_simulated(benchmark):
+    def sweep():
+        rates = {}
+        for idle_ns in (500 * USEC, 50 * MSEC):
+            per = {}
+            for mode in (TickMode.PERIODIC, TickMode.TICKLESS):
+                m = run_workload(
+                    IdlePeriodWorkload(idle_ns, iterations=150),
+                    tick_mode=mode,
+                    seed=2,
+                    noise=False,
+                )
+                per[mode.value] = m.total_exits / (m.exec_time_ns / 1e9)
+            rates[idle_ns] = per
+        return rates
+
+    rates = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nsimulated exits/s:", rates)
+    short, long_ = rates[500 * USEC], rates[50 * MSEC]
+    assert short["tickless"] > short["periodic"], "short idle: periodic should win"
+    assert long_["tickless"] < long_["periodic"], "long idle: tickless should win"

@@ -1,0 +1,77 @@
+"""Microbenchmarks of the simulation substrate itself.
+
+Not a paper experiment — these keep the simulator fast enough that the
+table sweeps stay tractable, and catch performance regressions in the
+hot paths (event queue, timer wheel, hrtimers, full-stack op loop).
+"""
+
+from __future__ import annotations
+
+from repro.config import TickMode
+from repro.experiments.runner import run_workload
+from repro.guest.hrtimer import HrtimerQueue
+from repro.guest.timerwheel import TimerWheel
+from repro.sim.engine import Simulator
+from repro.workloads.micro import SyncStormWorkload
+
+
+def test_event_queue_throughput(benchmark):
+    """Schedule+dispatch 100k chained events."""
+
+    def run():
+        sim = Simulator()
+        remaining = [100_000]
+
+        def tick():
+            remaining[0] -= 1
+            if remaining[0] > 0:
+                sim.schedule(10, tick)
+
+        sim.schedule(10, tick)
+        sim.run()
+        return sim.dispatched
+
+    assert benchmark(run) == 100_000
+
+
+def test_timer_wheel_churn(benchmark):
+    """Add/advance/fire 20k wheel timers across levels."""
+
+    def run():
+        w = TimerWheel()
+        fired = 0
+        for i in range(20_000):
+            w.add(1 + (i * 37) % 70_000, lambda: None)
+        fired += len(w.advance_to(70_001))
+        return fired
+
+    assert benchmark(run) == 20_000
+
+
+def test_hrtimer_queue_churn(benchmark):
+    """Interleaved add/cancel/pop on the hrtimer heap."""
+
+    def run():
+        q = HrtimerQueue()
+        handles = []
+        for i in range(10_000):
+            handles.append(q.add((i * 13) % 50_000, lambda: None))
+        for h in handles[::3]:
+            q.cancel(h)
+        return len(q.pop_expired(50_000))
+
+    assert benchmark(run) > 0
+
+
+def test_full_stack_events_per_second(benchmark):
+    """End-to-end simulator throughput on a sync-heavy workload."""
+
+    def run():
+        m = run_workload(
+            SyncStormWorkload(threads=4, events_per_second=4000.0, duration_cycles=60_000_000),
+            tick_mode=TickMode.TICKLESS,
+            seed=9,
+        )
+        return m.total_exits
+
+    assert benchmark.pedantic(run, rounds=1, iterations=1) > 100

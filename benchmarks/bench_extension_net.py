@@ -1,0 +1,45 @@
+"""Extension benchmark: paratick on network services (paper §8).
+
+The paper's future work targets high-performance I/O. We sweep NIC
+generations (10 GbE vs 100 GbE-class round trips) on an RPC workload:
+the faster the network, the larger the share of each request spent on
+tick-management exits — so paratick's benefit must *grow* with link
+speed, mirroring §6.3's storage-device argument.
+"""
+
+from __future__ import annotations
+
+from repro.config import TickMode
+from repro.experiments.runner import run_workload
+from repro.hw.nic import DATACENTER_10G, DATACENTER_100G
+from repro.workloads.netserve import NetServiceWorkload
+
+
+def compare(profile, *, seed=0):
+    wl = NetServiceWorkload(workers=2, requests=400, profile=profile)
+    base = run_workload(wl, tick_mode=TickMode.TICKLESS, seed=seed)
+    cand = run_workload(wl, tick_mode=TickMode.PARATICK, seed=seed)
+    return {
+        "exits": cand.total_exits / base.total_exits - 1.0,
+        "rps": base.exec_time_ns / cand.exec_time_ns - 1.0,  # requests/s gain
+        "base_rps": 800 / (base.exec_time_ns / 1e9),
+    }
+
+
+def test_net_service_paratick_gain_grows_with_link_speed(benchmark):
+    def run():
+        return {
+            "10G": compare(DATACENTER_10G),
+            "100G": compare(DATACENTER_100G),
+        }
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for link, r in out.items():
+        print(f"  {link}: exits {r['exits']:+.1%}, request throughput {r['rps']:+.1%} "
+              f"(baseline {r['base_rps']:,.0f} req/s)")
+    assert out["10G"]["exits"] < -0.10
+    assert out["100G"]["rps"] > out["10G"]["rps"], (
+        "paratick's gain must grow with link speed (§4.2's argument)"
+    )
+    assert out["100G"]["rps"] > 0.05

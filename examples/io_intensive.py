@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""I/O-intensive guests across device generations (paper §6.3 + §4.2).
+
+Runs a sync-read fio job against the three storage classes. The paper
+predicts (§4.2) that paratick's benefit grows as devices get faster —
+the timer-path exits are a fixed per-operation cost, so the faster the
+device, the larger their share of each operation. §6.3 closes with the
+same point: "paratick's performance benefits will only increase as time
+goes on, since state-of-the-art storage devices ... sport much lower
+access latencies".
+
+    python examples/io_intensive.py
+"""
+
+from repro import IoDeviceKind, TickMode
+from repro.experiments.runner import run_workload
+from repro.metrics.report import format_table
+from repro.workloads import fio
+
+
+def main() -> None:
+    rows = []
+    for kind in (IoDeviceKind.HDD, IoDeviceKind.SATA_SSD, IoDeviceKind.NVME_SSD):
+        wl = fio.job("rndr", 4096, total_bytes=4 << 20)
+        base = run_workload(wl, tick_mode=TickMode.TICKLESS, device_kind=kind, seed=3)
+        para = run_workload(wl, tick_mode=TickMode.PARATICK, device_kind=kind, seed=3)
+        mb = wl.total_bytes / (1 << 20)
+        rows.append(
+            (
+                kind.value,
+                f"{mb / (base.exec_time_ns / 1e9):.1f}",
+                f"{mb / (para.exec_time_ns / 1e9):.1f}",
+                f"{para.total_exits / base.total_exits - 1:+.1%}",
+                f"{base.exec_time_ns / para.exec_time_ns - 1:+.1%}",
+            )
+        )
+    print(
+        format_table(
+            ["device", "tickless MB/s", "paratick MB/s", "Δ exits", "Δ I/O throughput"],
+            rows,
+            title="fio rndr 4k, sync engine, 1 vCPU — device-class sweep",
+        )
+    )
+    print(
+        "\nOn an HDD the multi-millisecond access latency buries the timer\n"
+        "overhead; on SSD-class devices each read's idle entry/exit timer\n"
+        "writes become a visible share of the operation, and paratick's\n"
+        "advantage grows with device speed — §4.2's prediction."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Blocking synchronization under virtualization (paper §6.2).
+
+Sweeps the synchronization rate of a 16-thread workload and shows how
+the tickless guest's timer-management exits grow linearly with the
+blocking rate while paratick's stay flat — the crossover behaviour §3.3
+derives analytically, measured here on the full simulator.
+
+    python examples/multithreaded_sync.py
+"""
+
+from repro import TickMode
+from repro.experiments.runner import run_workload
+from repro.metrics.report import format_table
+from repro.workloads.micro import SyncStormWorkload
+
+
+def main() -> None:
+    rows = []
+    for rate in (100, 500, 2_000, 8_000, 32_000):
+        wl = SyncStormWorkload(threads=16, events_per_second=rate, duration_cycles=120_000_000)
+        base = run_workload(wl, tick_mode=TickMode.TICKLESS, seed=1)
+        para = run_workload(wl, tick_mode=TickMode.PARATICK, seed=1)
+        secs = base.exec_time_ns / 1e9
+        rows.append(
+            (
+                f"{rate:,}",
+                f"{base.timer_exits / secs:,.0f}",
+                f"{para.timer_exits / (para.exec_time_ns / 1e9):,.0f}",
+                f"{para.total_exits / base.total_exits - 1:+.1%}",
+                f"{base.total_cycles / para.total_cycles - 1:+.1%}",
+                f"{para.exec_time_ns / base.exec_time_ns - 1:+.1%}",
+            )
+        )
+    print(
+        format_table(
+            [
+                "sync events/s",
+                "tickless timer exits/s",
+                "paratick timer exits/s",
+                "Δ exits",
+                "Δ throughput",
+                "Δ exec time",
+            ],
+            rows,
+            title="16 threads on 16 vCPUs, blocking synchronization sweep",
+        )
+    )
+    print(
+        "\nTickless timer exits scale with the blocking rate (each idle\n"
+        "entry/exit touches the TSC_DEADLINE MSR); paratick's do not.\n"
+        "Throughput gains grow with sync intensity; execution time moves\n"
+        "much less, because most eliminated exits sit off the critical\n"
+        "path (§4.2/§6.2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

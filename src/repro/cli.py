@@ -1,0 +1,243 @@
+"""Command-line interface: regenerate any paper table/figure.
+
+Usage::
+
+    python -m repro table1
+    python -m repro table2            # Fig. 4 + Table 2 (sequential PARSEC)
+    python -m repro table3 --size medium
+    python -m repro table4            # Fig. 6 + Table 4 (fio)
+    python -m repro run streamcluster --threads 16 --mode paratick
+    python -m repro ablations
+
+The heavy sweeps accept ``--quick`` to shrink the work budget (same
+relative results, less wall-clock).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.config import TickMode
+from repro.experiments import runner
+from repro.experiments.scenarios import VM_SIZES
+from repro.metrics.report import format_table
+from repro.workloads import parsec
+
+
+def _cmd_table1(args) -> int:
+    from repro.experiments import table1
+
+    print(table1.render())
+    if args.simulate:
+        print("\nSimulated cross-check (exits/s at 250 Hz, 16 vCPUs):")
+        for name, modes in table1.simulated_cross_check().items():
+            print(f"  {name}: " + ", ".join(f"{m}={v:,.0f}" for m, v in modes.items()))
+    return 0
+
+
+def _cmd_table2(args) -> int:
+    from repro.experiments import table2_fig4
+
+    budget = 120_000_000 if args.quick else 300_000_000
+    result = table2_fig4.run(target_cycles=budget, seed=args.seed)
+    print(result.render())
+    if args.chart:
+        from repro.metrics.chart import comparison_panels
+
+        print("\nFig. 4 —")
+        print(comparison_panels(result.per_benchmark))
+    return 0
+
+
+def _cmd_table3(args) -> int:
+    from repro.experiments import table3_fig5
+
+    sizes = [s for s in VM_SIZES if args.size in ("all", s.name)]
+    benches = tuple(args.bench) if args.bench else parsec.BENCHMARK_NAMES
+    for size in sizes:
+        budget = None if not args.quick else max(20_000_000, (table3_fig5.DEFAULT_BUDGETS[size.name] // 3))
+        result = table3_fig5.run_size(size, benches=benches, target_cycles=budget, seed=args.seed)
+        print(result.render())
+        if args.chart:
+            from repro.metrics.chart import comparison_panels
+
+            print("\nFig. 5 [" + size.name + "] —")
+            print(comparison_panels(result.per_benchmark))
+        print()
+    return 0
+
+
+def _cmd_table4(args) -> int:
+    from repro.experiments import table4_fig6
+    from repro.workloads.fio import BLOCK_SIZES
+
+    total = (4 << 20) if args.quick else (16 << 20)
+    sizes = BLOCK_SIZES[:2] if args.quick else BLOCK_SIZES
+    result = table4_fig6.run(total_bytes=total, block_sizes=sizes, seed=args.seed)
+    print(result.render())
+    if args.chart:
+        from repro.metrics.chart import comparison_panels
+
+        print("\nFig. 6 —")
+        print(comparison_panels(
+            result.per_category,
+            metric_titles=("(a) VM exits", "(b) I/O throughput", "(c) execution time"),
+        ))
+    return 0
+
+
+def _cmd_ablations(args) -> int:
+    from repro.experiments import ablations
+
+    rows = [ablations.ablate_keep_timer(seed=args.seed), ablations.ablate_last_tick_heuristic(seed=args.seed)]
+    print(format_table(
+        ["heuristic disabled", "exits", "vs paratick default"],
+        [(r.name, f"{r.variant_exits:,}", f"{r.exit_delta:+.1%}") for r in rows],
+        title="Paratick design-choice ablations",
+    ))
+    print()
+    hp = ablations.ablate_halt_polling(seed=args.seed)
+    print(format_table(
+        ["halt_poll_ns", "exec time (ms)", "total cycles (M)"],
+        [(f"{r.poll_ns:,}", f"{r.exec_time_ns / 1e6:.2f}", f"{r.total_cycles / 1e6:.0f}") for r in hp],
+        title="Halt polling (why §6 disables it)",
+    ))
+    print()
+    mm = ablations.ablate_frequency_mismatch(seed=args.seed)
+    print(format_table(
+        ["host Hz", "guest Hz", "rate adapt", "ticks delivered/s", "total exits"],
+        [(r.host_hz, r.guest_hz, "on" if r.rate_adapt else "off",
+          f"{r.delivered_hz:.0f}", f"{r.total_exits:,}") for r in mm],
+        title="Host/guest tick-frequency mismatch (§4.1) and the backstop",
+    ))
+    print()
+    eoi = ablations.ablate_virtual_eoi(seed=args.seed)
+    print(format_table(
+        ["virtual EOI (APICv)", "paratick exit reduction", "baseline exits"],
+        [("on" if r.virtual_eoi else "off (traps)", f"{r.exit_reduction:+.1%}", f"{r.base_exits:,}") for r in eoi],
+        title="EOI virtualization sensitivity",
+    ))
+    print()
+    est, crossover, base, para = ablations.ablate_did(seed=args.seed)
+    print("DID comparison (§7): "
+          f"throughput {est.throughput:+.1%} (net of dedicated core) vs "
+          f"{est.throughput_without_core_loss:+.1%} gross; "
+          f"exits {est.vm_exits:+.1%}; breaks even above ~{crossover:.0f} CPUs")
+    return 0
+
+
+def _cmd_export(args) -> int:
+    from repro.experiments import export
+
+    written = []
+    if args.figure in ("fig4", "all"):
+        written.append(export.export_fig4(args.out, seed=args.seed))
+    if args.figure in ("fig5", "all"):
+        written.extend(export.export_fig5(args.out, seed=args.seed))
+    if args.figure in ("fig6", "all"):
+        written.append(export.export_fig6(args.out, seed=args.seed))
+    for p in written:
+        print(f"wrote {p}")
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    from repro.experiments import validate
+
+    results = validate.run_all()
+    for r in results:
+        mark = "ok " if r.passed else "FAIL"
+        print(f"[{mark}] {r.name}: {r.detail}")
+    return 0 if all(r.passed for r in results) else 1
+
+
+def _cmd_list(args) -> int:
+    from repro.workloads.fio import BLOCK_SIZES, CATEGORIES
+    from repro.workloads.parsec import PROFILES
+
+    rows = [
+        (name, p.sync_kind, f"{p.sync_hz:,.0f}/s", f"{p.io_read_hz:,.0f}/s")
+        for name, p in sorted(PROFILES.items())
+    ]
+    print(format_table(
+        ["PARSEC benchmark", "sync kind", "blocking sync", "input streaming"],
+        rows,
+        title="PARSEC models (repro.workloads.parsec)",
+    ))
+    print(f"\nfio (repro.workloads.fio): {', '.join(CATEGORIES)} x "
+          f"{', '.join(str(b // 1024) + 'k' for b in BLOCK_SIZES)}")
+    print("micro (repro.workloads.micro): idle, syncstorm, pingpong, idleperiod")
+    print("netserve (repro.workloads.netserve): RPC service, 10G/100G links")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    wl = parsec.benchmark(args.benchmark, threads=args.threads,
+                          target_cycles=args.target_mcycles * 1_000_000)
+    m = runner.run_workload(wl, tick_mode=TickMode(args.mode), seed=args.seed)
+    print(f"{m.label}: exec={m.exec_time_ns / 1e6:.2f} ms, exits={m.total_exits:,} "
+          f"(timer {m.timer_exits:,}), cycles={m.total_cycles / 1e6:.0f} M, "
+          f"overhead={m.overhead_ratio:.1%}")
+    for key, count in sorted(m.exits.tag_breakdown().items(), key=lambda kv: -kv[1]):
+        print(f"  {key.value:<18} {count:,}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(prog="paratick-repro", description=__doc__,
+                                formatter_class=argparse.RawDescriptionHelpFormatter)
+    p.add_argument("--seed", type=int, default=0, help="root RNG seed")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    t1 = sub.add_parser("table1", help="Table 1: periodic vs tickless exit counts")
+    t1.add_argument("--simulate", action="store_true", help="also run the simulated cross-check")
+    t1.set_defaults(fn=_cmd_table1)
+
+    t2 = sub.add_parser("table2", help="Table 2 / Fig. 4: sequential PARSEC")
+    t2.add_argument("--quick", action="store_true")
+    t2.add_argument("--chart", action="store_true", help="also draw the figure as ASCII bars")
+    t2.set_defaults(fn=_cmd_table2)
+
+    t3 = sub.add_parser("table3", help="Table 3 / Fig. 5: multithreaded PARSEC")
+    t3.add_argument("--size", choices=["small", "medium", "large", "all"], default="all")
+    t3.add_argument("--bench", action="append", help="restrict to specific benchmarks")
+    t3.add_argument("--quick", action="store_true")
+    t3.add_argument("--chart", action="store_true", help="also draw the figure as ASCII bars")
+    t3.set_defaults(fn=_cmd_table3)
+
+    t4 = sub.add_parser("table4", help="Table 4 / Fig. 6: fio storage")
+    t4.add_argument("--quick", action="store_true")
+    t4.add_argument("--chart", action="store_true", help="also draw the figure as ASCII bars")
+    t4.set_defaults(fn=_cmd_table4)
+
+    ab = sub.add_parser("ablations", help="design-choice ablations + DID comparison")
+    ab.set_defaults(fn=_cmd_ablations)
+
+    ex = sub.add_parser("export", help="write figure data series as CSV")
+    ex.add_argument("figure", choices=["fig4", "fig5", "fig6", "all"])
+    ex.add_argument("--out", default="figures", help="output directory")
+    ex.set_defaults(fn=_cmd_export)
+
+    ls = sub.add_parser("list", help="list available workload models")
+    ls.set_defaults(fn=_cmd_list)
+
+    va = sub.add_parser("validate", help="fast self-check of the core invariants")
+    va.set_defaults(fn=_cmd_validate)
+
+    run = sub.add_parser("run", help="run one PARSEC model and print its profile")
+    run.add_argument("benchmark", choices=list(parsec.BENCHMARK_NAMES))
+    run.add_argument("--threads", type=int, default=1)
+    run.add_argument("--mode", choices=[m.value for m in TickMode], default="paratick")
+    run.add_argument("--target-mcycles", type=int, default=300)
+    run.set_defaults(fn=_cmd_run)
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

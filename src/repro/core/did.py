@@ -1,0 +1,93 @@
+"""Direct Interrupt Delivery (DID) comparison model (paper §7).
+
+DID [36] eliminates timer-related VM exits in hardware: the EIE bit is
+cleared so external interrupts reach the VM directly, and timer-MSR
+writes are not intercepted. Its price (per the paper's related-work
+analysis): "timers set by the hypervisor and descheduled vCPUs are
+restricted to a designated core ... Moreover, the designated core can
+not be used by VMs. This can be interpreted as a static virtualization
+overhead inversely proportional to the number of CPUs in the system."
+
+We model DID analytically on top of measured paratick/tickless runs:
+
+* DID removes the same timer exits paratick removes, **plus** the
+  host-tick external-interrupt exits paratick keeps (EIE cleared);
+* DID surrenders one physical CPU: a multiplicative ``(n-1)/n``
+  throughput factor.
+
+That yields the crossover the paper argues for: below some machine size
+the dedicated core costs more than the exits saved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.metrics.perf import RunMetrics
+
+
+@dataclass(frozen=True)
+class DidEstimate:
+    """Estimated DID performance relative to a tickless baseline."""
+
+    #: Throughput change vs tickless (positive = better), incl. core loss.
+    throughput: float
+    #: Exit-count change vs tickless.
+    vm_exits: float
+    #: The throughput change ignoring the dedicated-core loss.
+    throughput_without_core_loss: float
+
+
+def estimate_did(
+    baseline: RunMetrics,
+    paratick: RunMetrics,
+    *,
+    machine_cpus: int,
+    exit_cost_cycles: int,
+    clock_hz: int,
+) -> DidEstimate:
+    """Estimate DID from a measured tickless/paratick pair.
+
+    Args:
+        baseline: the tickless run.
+        paratick: the paratick run on the same workload/seed.
+        machine_cpus: physical CPUs, one of which DID dedicates.
+        exit_cost_cycles: all-in cost of one exit (cost model:
+            ``vmexit_hw + handler + vmentry_hw + pollution``).
+        clock_hz: CPU clock, to convert exit savings into cycles.
+    """
+    if machine_cpus < 2:
+        raise ConfigError("DID needs at least two CPUs (one is dedicated)")
+    # Exits DID removes: everything paratick removed, plus the host-tick
+    # exits paratick still takes while running.
+    paratick_removed = baseline.total_exits - paratick.total_exits
+    host_tick_exits = paratick.exits.by_tag(_host_tick_tag())
+    did_removed = paratick_removed + host_tick_exits
+    did_exits = baseline.total_exits - did_removed
+    # Cycle savings from the extra removed exits, relative to baseline.
+    cycles_saved = did_removed * exit_cost_cycles
+    gross = baseline.total_cycles / max(baseline.total_cycles - cycles_saved, 1) - 1.0
+    core_factor = (machine_cpus - 1) / machine_cpus
+    net = (1.0 + gross) * core_factor - 1.0
+    return DidEstimate(
+        throughput=net,
+        vm_exits=did_exits / baseline.total_exits - 1.0,
+        throughput_without_core_loss=gross,
+    )
+
+
+def crossover_cpus(gross_throughput_gain: float) -> float:
+    """Machine size above which DID's core loss is amortized.
+
+    DID nets positive when ``(1+g)·(n−1)/n > 1``, i.e. ``n > (1+g)/g``.
+    """
+    if gross_throughput_gain <= 0:
+        return float("inf")
+    return (1.0 + gross_throughput_gain) / gross_throughput_gain
+
+
+def _host_tick_tag():
+    from repro.host.exitreasons import ExitTag
+
+    return ExitTag.TIMER_HOST_TICK

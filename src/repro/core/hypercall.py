@@ -1,0 +1,27 @@
+"""The paratick boot hypercall (paper §4.1).
+
+"The guest should declare its tick frequency to the host during the boot
+sequence through a hypercall."
+
+The guest side issues :data:`HC_PARATICK_SET_PERIOD` with the tick
+period in nanoseconds (see ``ParatickPolicy.on_boot``); the host side
+(``VirtualMachine.handle_hypercall``) records the period and enables
+virtual-tick injection for every vCPU of the VM.
+
+The paper's implementation (§5.1) assumes host and guest share a tick
+frequency and leaves general rate adaptation as future work; we
+implement the general design: the host injects at the *guest's declared
+rate* regardless of its own, because injection opportunities (VM entries
+from host ticks and other exits) are checked against ``last_tick`` —
+when the host tick is slower than the guest tick, the guest's own
+idle-entry wake timers and workload exits provide additional injection
+points, and the Fig. 2 elapsed-time check naturally paces them. The
+frequency-mismatch ablation bench quantifies how tick delivery accuracy
+degrades when the host rate is not a multiple of the guest rate.
+"""
+
+from __future__ import annotations
+
+from repro.host.kvm import HC_PARATICK_SET_PERIOD
+
+__all__ = ["HC_PARATICK_SET_PERIOD"]

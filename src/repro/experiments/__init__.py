@@ -1,0 +1,10 @@
+"""Experiment runners: one module per paper table/figure, plus scenario
+helpers, the A/B comparison driver and the ablation suite."""
+
+from repro.experiments.runner import (
+    run_comparison,
+    run_replicated_comparison,
+    run_workload,
+)
+
+__all__ = ["run_workload", "run_comparison", "run_replicated_comparison"]

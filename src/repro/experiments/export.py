@@ -1,0 +1,87 @@
+"""CSV export of the data series behind each figure.
+
+The paper's Figs. 4–6 are bar charts of per-benchmark relative metrics.
+This module writes those series as CSV (one row per benchmark/category,
+one column per metric) so they can be plotted with any tool — the
+figure-regeneration path for environments without plotting libraries.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Iterable, Optional, Union
+
+from repro.metrics.report import Comparison
+
+PathLike = Union[str, Path]
+
+
+def comparisons_to_csv(
+    comparisons: Iterable[Comparison],
+    *,
+    metric_names: tuple[str, str, str] = ("vm_exits", "throughput", "exec_time"),
+) -> str:
+    """Render comparisons as CSV text (label + three relative metrics)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(("label",) + metric_names)
+    for c in comparisons:
+        writer.writerow([c.label, f"{c.vm_exits:.6f}", f"{c.throughput:.6f}", f"{c.exec_time:.6f}"])
+    return buf.getvalue()
+
+
+def write_csv(path: PathLike, comparisons: Iterable[Comparison], **kw) -> Path:
+    """Write a comparison series to ``path``; returns the path."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(comparisons_to_csv(comparisons, **kw))
+    return p
+
+
+def export_fig4(out_dir: PathLike, *, target_cycles: int = 200_000_000, seed: int = 0) -> Path:
+    """Per-benchmark series of Fig. 4 (sequential PARSEC)."""
+    from repro.experiments import table2_fig4
+
+    result = table2_fig4.run(target_cycles=target_cycles, seed=seed)
+    return write_csv(Path(out_dir) / "fig4_sequential_parsec.csv",
+                     result.per_benchmark + [result.aggregate])
+
+
+def export_fig5(
+    out_dir: PathLike,
+    *,
+    sizes: Optional[tuple[str, ...]] = None,
+    target_cycles: Optional[int] = None,
+    seed: int = 0,
+) -> list[Path]:
+    """Per-benchmark series of Fig. 5, one file per VM size."""
+    from repro.experiments import table3_fig5
+    from repro.experiments.scenarios import VM_SIZES
+
+    wanted = sizes or tuple(s.name for s in VM_SIZES)
+    out = []
+    for size in VM_SIZES:
+        if size.name not in wanted:
+            continue
+        res = table3_fig5.run_size(size, target_cycles=target_cycles, seed=seed)
+        out.append(
+            write_csv(
+                Path(out_dir) / f"fig5_parallel_parsec_{size.name}.csv",
+                res.per_benchmark + [res.aggregate],
+            )
+        )
+    return out
+
+
+def export_fig6(out_dir: PathLike, *, total_bytes: int = 8 << 20, seed: int = 0) -> Path:
+    """Per-category series of Fig. 6 (fio)."""
+    from repro.experiments import table4_fig6
+
+    result = table4_fig6.run(total_bytes=total_bytes, seed=seed)
+    return write_csv(
+        Path(out_dir) / "fig6_fio.csv",
+        result.per_category + [result.aggregate],
+        metric_names=("vm_exits", "io_throughput", "exec_time"),
+    )

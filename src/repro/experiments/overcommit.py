@@ -1,0 +1,88 @@
+"""Overcommitted multi-VM scenarios: the full §3.1/§3.3 regime, simulated.
+
+The paper's Table 1 counts are analytical; this module runs the same
+W1/W2-style configurations — multiple idle or sync-churning VMs sharing
+physical CPUs — on the full simulator with host-scheduler time sharing,
+which the single-VM experiment runner does not cover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import MachineSpec, TickMode, VmSpec
+from repro.errors import ConfigError
+from repro.guest.kernel import GuestKernel
+from repro.guest.noise import install_noise
+from repro.host.kvm import Hypervisor
+from repro.hw.cpu import Machine
+from repro.metrics.counters import ExitCounters
+from repro.sim.engine import Simulator
+from repro.sim.timebase import SEC
+
+
+@dataclass
+class OvercommitResult:
+    """Per-mode measurement of one overcommitted scenario."""
+
+    mode: TickMode
+    duration_ns: int
+    total_exits: int
+    total_busy_ns: int
+    host_switches: int
+
+    @property
+    def exits_per_second(self) -> float:
+        return self.total_exits / (self.duration_ns / SEC)
+
+    @property
+    def busy_fraction(self) -> float:
+        """Busy time as a fraction of one CPU-second per CPU."""
+        return self.total_busy_ns / self.duration_ns
+
+
+def run_idle_overcommit(
+    mode: TickMode,
+    *,
+    vms: int = 4,
+    vcpus_per_vm: int = 4,
+    pcpus: int = 2,
+    duration_ns: int = SEC,
+    noise: bool = False,
+    seed: int = 0,
+) -> OvercommitResult:
+    """N idle VMs time-sharing a small set of physical CPUs (W1/W2).
+
+    With classic periodic ticks every vCPU is woken ``f_tick`` times a
+    second; with tickless/paratick guests the host stays asleep.
+    """
+    if vms <= 0 or vcpus_per_vm <= 0 or pcpus <= 0:
+        raise ConfigError("vms, vcpus_per_vm and pcpus must be positive")
+    sim = Simulator(seed=seed)
+    machine = Machine(sim, MachineSpec(sockets=1, cpus_per_socket=pcpus))
+    hv = Hypervisor(sim, machine)
+    for v in range(vms):
+        pins = tuple((v * vcpus_per_vm + i) % pcpus for i in range(vcpus_per_vm))
+        vm = hv.create_vm(
+            VmSpec(name=f"vm{v}", vcpus=vcpus_per_vm, tick_mode=mode, pinned_cpus=pins, noise=noise)
+        )
+        kernel = GuestKernel(vm)
+        if noise:
+            install_noise(kernel)
+    hv.start()
+    sim.run(until=duration_ns)
+    counters = ExitCounters()
+    for vm in hv.vms:
+        counters = counters.merge(vm.counters)
+    return OvercommitResult(
+        mode=mode,
+        duration_ns=duration_ns,
+        total_exits=counters.total,
+        total_busy_ns=machine.total_busy_ns() // max(pcpus, 1),
+        host_switches=hv.sched.switches,
+    )
+
+
+def compare_modes(**kwargs) -> dict[TickMode, OvercommitResult]:
+    """The W1/W2 comparison across all three tick modes."""
+    return {mode: run_idle_overcommit(mode, **kwargs) for mode in TickMode}

@@ -1,0 +1,198 @@
+"""The experiment driver: build a stack, run a workload, measure.
+
+:func:`run_workload` is the single entry point every benchmark, example
+and integration test uses; :func:`run_comparison` performs the A/B
+(tickless vs paratick) measurement the paper's figures are built from,
+guaranteeing both runs share machine, seed and workload parameters.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import HostFeatures, IoDeviceKind, MachineSpec, TickMode, VmSpec
+from repro.guest.kernel import GuestKernel
+from repro.guest.noise import install_noise
+from repro.host.costs import DEFAULT_COSTS, CostModel
+from repro.host.kvm import Hypervisor
+from repro.hw.block import make_block_device
+from repro.hw.cpu import Machine
+from repro.metrics.perf import RunMetrics, collect_metrics
+from repro.metrics.report import Comparison, compare_runs
+from repro.sim.engine import Simulator
+from repro.sim.timebase import SEC
+from repro.workloads.base import Workload, WorkloadResult
+
+#: Default wall-clock bound on a run (simulated).
+DEFAULT_HORIZON_NS = 60 * SEC
+
+
+def run_workload(
+    workload: Workload,
+    *,
+    tick_mode: TickMode = TickMode.TICKLESS,
+    vcpus: Optional[int] = None,
+    pinned_cpus: Optional[tuple[int, ...]] = None,
+    machine_spec: Optional[MachineSpec] = None,
+    features: HostFeatures = HostFeatures(),
+    costs: CostModel = DEFAULT_COSTS,
+    tick_hz: int = 250,
+    seed: int = 0,
+    noise: bool = True,
+    cpuidle: bool = False,
+    device_kind: Optional[IoDeviceKind] = None,
+    horizon_ns: int = DEFAULT_HORIZON_NS,
+    label: Optional[str] = None,
+    tracer=None,
+) -> RunMetrics:
+    """Run one workload in one VM and return its metrics.
+
+    The run ends when every main task finishes (execution time = that
+    instant) or at ``horizon_ns`` for open-ended workloads; a workload
+    with main tasks that misses the horizon raises
+    :class:`~repro.errors.WorkloadError` rather than reporting a
+    truncated measurement.
+    """
+    nvcpus = vcpus if vcpus is not None else workload.default_vcpus()
+    mspec = machine_spec or MachineSpec()
+    if pinned_cpus is None:
+        pinned_cpus = tuple(range(nvcpus))
+    sim = Simulator(seed=seed, tracer=tracer)
+    machine = Machine(sim, mspec)
+    hv = Hypervisor(sim, machine, costs=costs, features=features)
+    vm = hv.create_vm(
+        VmSpec(
+            name="vm0",
+            vcpus=nvcpus,
+            tick_mode=tick_mode,
+            tick_hz=tick_hz,
+            pinned_cpus=pinned_cpus,
+            noise=noise,
+            cpuidle=cpuidle,
+        )
+    )
+    kernel = GuestKernel(vm)
+
+    kind = device_kind or workload.io_device
+    if kind is not None:
+        device = make_block_device(
+            sim,
+            kind,
+            lambda req: hv.complete_io_request(vm, req.cookie[0], req),
+        )
+        kernel.attach_block_device(device)
+
+    nic_profile = getattr(workload, "nic_profile", None)
+    if nic_profile is not None:
+        from repro.hw.interrupts import Vector
+        from repro.hw.nic import Nic
+
+        nic = Nic(
+            sim,
+            nic_profile,
+            lambda req: hv.complete_io_request(vm, req.cookie[0], req, vector=Vector.NET_IO),
+        )
+        kernel.attach_nic(nic)
+
+    if noise:
+        install_noise(kernel)
+
+    main_tasks = workload.build(kernel)
+    result = WorkloadResult(main_tasks=list(main_tasks))
+    main_set = set(id(t) for t in main_tasks)
+
+    def on_done(task) -> None:
+        if id(task) in main_set:
+            result.finished += 1
+            if result.finished == len(result.main_tasks):
+                result.completed_at_ns = sim.now
+                sim.stop()
+
+    kernel.task_done_callbacks.append(on_done)
+
+    hv.start()
+    sim.run(until=horizon_ns)
+
+    if result.main_tasks:
+        result.check_complete()
+        exec_time = result.completed_at_ns
+    else:
+        exec_time = sim.now  # open-ended workload: ran to the horizon
+
+    extra = {
+        "vcpus": nvcpus,
+        "seed": seed,
+        "virtual_ticks": vm.virtual_ticks_injected,
+        "halt_episodes": sum(v.halt_episodes for v in vm.vcpus),
+        "halted_ns": sum(v.total_halted_ns for v in vm.vcpus),
+    }
+    from repro.host.vcpu import VcpuState
+
+    for v in vm.vcpus:
+        residency = dict(v.cstate_residency_ns)
+        if v.state is VcpuState.HALTED and v.requested_cstate is not None:
+            # Still asleep at collection time: flush the open residency.
+            name = v.requested_cstate.name
+            residency[name] = residency.get(name, 0) + (sim.now - v.halted_since_ns)
+        for state, ns in residency.items():
+            extra[f"cstate_{state}_ns"] = extra.get(f"cstate_{state}_ns", 0) + ns
+    return collect_metrics(
+        label or f"{workload.name}/{tick_mode.value}",
+        machine,
+        [vm],
+        exec_time_ns=exec_time,
+        extra=extra,
+    )
+
+
+def run_comparison(
+    workload: Workload,
+    *,
+    baseline: TickMode = TickMode.TICKLESS,
+    candidate: TickMode = TickMode.PARATICK,
+    label: Optional[str] = None,
+    **kwargs,
+) -> tuple[Comparison, RunMetrics, RunMetrics]:
+    """A/B run of a workload under two tick modes with shared parameters.
+
+    This is the paper's measurement: the same workload, the same
+    machine, the same seed — only the guest's tick management differs.
+    """
+    base = run_workload(workload, tick_mode=baseline, **kwargs)
+    cand = run_workload(workload, tick_mode=candidate, **kwargs)
+    return compare_runs(base, cand, label or workload.name), base, cand
+
+
+def run_replicated_comparison(
+    workload: Workload,
+    *,
+    seeds: tuple[int, ...] = (0, 1, 2),
+    label: Optional[str] = None,
+    **kwargs,
+) -> tuple[Comparison, dict[str, float]]:
+    """The paper's methodology (§6): repeat each experiment over several
+    seeds and report the mean; the per-metric standard deviations are
+    returned alongside ("a deviation of 5% is possible due to the
+    multitude of non-deterministic factors").
+
+    Returns the mean comparison and a dict of standard deviations
+    (``vm_exits`` / ``throughput`` / ``exec_time``).
+    """
+    from repro.sim.stats import OnlineStats
+
+    if not seeds:
+        raise ValueError("need at least one seed")
+    stats = {m: OnlineStats() for m in ("vm_exits", "throughput", "exec_time")}
+    for seed in seeds:
+        comp, _b, _c = run_comparison(workload, seed=seed, label=label, **kwargs)
+        stats["vm_exits"].add(comp.vm_exits)
+        stats["throughput"].add(comp.throughput)
+        stats["exec_time"].add(comp.exec_time)
+    mean = Comparison(
+        label=label or workload.name,
+        vm_exits=stats["vm_exits"].mean,
+        throughput=stats["throughput"].mean,
+        exec_time=stats["exec_time"].mean,
+    )
+    sds = {m: (s.stdev if s.n > 1 else 0.0) for m, s in stats.items()}
+    return mean, sds

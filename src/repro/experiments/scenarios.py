@@ -1,0 +1,56 @@
+"""Scenario helpers: vCPU placement and the paper's three VM sizes.
+
+§6.2: "a 'small' VM with 4 vCPUs collocated on the same NUMA socket, a
+'medium' VM with 16 vCPUs spread over 2 NUMA sockets, and a 'large' VM
+with 64 vCPUs spread over 4 sockets", on the 4x20-CPU testbed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import MachineSpec
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class VmSize:
+    """One of the paper's multithreaded test scenarios."""
+
+    name: str
+    vcpus: int
+    sockets_used: int
+
+
+SMALL = VmSize("small", 4, 1)
+MEDIUM = VmSize("medium", 16, 2)
+LARGE = VmSize("large", 64, 4)
+VM_SIZES = (SMALL, MEDIUM, LARGE)
+
+
+def pin_spread(machine: MachineSpec, vcpus: int, sockets_used: int) -> tuple[int, ...]:
+    """Pin ``vcpus`` across the first ``sockets_used`` sockets, evenly.
+
+    small:  4 vCPUs on socket 0;
+    medium: 16 vCPUs as 8+8 on sockets 0-1;
+    large:  64 vCPUs as 16x4 on sockets 0-3.
+    """
+    if sockets_used <= 0 or sockets_used > machine.sockets:
+        raise ConfigError(f"cannot use {sockets_used} of {machine.sockets} sockets")
+    if vcpus % sockets_used:
+        raise ConfigError(f"{vcpus} vCPUs do not spread evenly over {sockets_used} sockets")
+    per_socket = vcpus // sockets_used
+    if per_socket > machine.cpus_per_socket:
+        raise ConfigError(
+            f"{per_socket} vCPUs per socket exceed the {machine.cpus_per_socket} CPUs available"
+        )
+    pins = []
+    for s in range(sockets_used):
+        base = s * machine.cpus_per_socket
+        pins.extend(range(base, base + per_socket))
+    return tuple(pins)
+
+
+def pins_for_size(size: VmSize, machine: MachineSpec | None = None) -> tuple[int, ...]:
+    """Placement for one of the paper's scenarios on the default testbed."""
+    return pin_spread(machine or MachineSpec(), size.vcpus, size.sockets_used)

@@ -1,0 +1,50 @@
+"""Table 2 + Figure 4 — sequential PARSEC, paratick vs vanilla (§6.1).
+
+Figure 4 shows three per-benchmark panels (VM exits, system throughput,
+execution time, all relative to tickless Linux); Table 2 is the suite
+average: paper values **−50 % exits, +7 % throughput, −2 % execution
+time**. One call to :func:`run` regenerates both: the per-benchmark rows
+are the figure's series, the aggregate row is the table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.runner import run_comparison
+from repro.metrics.aggregate import aggregate_improvements
+from repro.metrics.report import Comparison, format_table
+from repro.workloads import parsec
+
+#: The paper's Table 2.
+PAPER_TABLE2 = {"vm_exits": -0.50, "throughput": +0.07, "exec_time": -0.02}
+
+
+@dataclass
+class Fig4Result:
+    per_benchmark: list[Comparison]
+    aggregate: Comparison
+
+    def render(self) -> str:
+        rows = [c.row() for c in self.per_benchmark]
+        rows.append(self.aggregate.row())
+        return format_table(
+            ["benchmark", "VM exits", "throughput", "exec time"],
+            rows,
+            title=(
+                "Fig. 4 / Table 2 — sequential PARSEC, paratick vs tickless\n"
+                f"(paper averages: {PAPER_TABLE2['vm_exits']:+.0%} exits, "
+                f"{PAPER_TABLE2['throughput']:+.0%} throughput, "
+                f"{PAPER_TABLE2['exec_time']:+.0%} exec time)"
+            ),
+        )
+
+
+def run(*, target_cycles: int = 300_000_000, seed: int = 0) -> Fig4Result:
+    """Run all 13 benchmarks sequentially in both modes."""
+    comps = []
+    for bench in parsec.BENCHMARK_NAMES:
+        wl = parsec.benchmark(bench, target_cycles=target_cycles)
+        comp, _base, _cand = run_comparison(wl, seed=seed, label=bench)
+        comps.append(comp)
+    return Fig4Result(comps, aggregate_improvements(comps, label="average (Table 2)"))

@@ -1,0 +1,75 @@
+"""Table 3 + Figure 5 — multithreaded PARSEC in three VM sizes (§6.2).
+
+The paper's scenarios: small (4 vCPUs, 1 socket), medium (16 vCPUs,
+2 sockets), large (64 vCPUs, 4 sockets); parallelism equals the vCPU
+count. Paper Table 3:
+
+    small   −42 % exits   +12 % throughput   −1 % exec time
+    medium  −47 % exits   +13 % throughput   −3 % exec time
+    large   −44 % exits   +16 % throughput   −1 % exec time
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.runner import run_comparison
+from repro.experiments.scenarios import VM_SIZES, VmSize, pins_for_size
+from repro.metrics.aggregate import aggregate_improvements
+from repro.metrics.report import Comparison, format_table
+from repro.workloads import parsec
+
+#: The paper's Table 3 (exits, throughput, exec time).
+PAPER_TABLE3 = {
+    "small": (-0.42, +0.12, -0.01),
+    "medium": (-0.47, +0.13, -0.03),
+    "large": (-0.44, +0.16, -0.01),
+}
+
+#: Per-thread work budgets chosen so the large scenario stays tractable
+#: (results are rates; run length does not change the relative numbers).
+DEFAULT_BUDGETS = {"small": 500_000_000, "medium": 300_000_000, "large": 120_000_000}
+
+
+@dataclass
+class Fig5Result:
+    size: VmSize
+    per_benchmark: list[Comparison]
+    aggregate: Comparison
+
+    def render(self) -> str:
+        rows = [c.row() for c in self.per_benchmark]
+        rows.append(self.aggregate.row())
+        p = PAPER_TABLE3[self.size.name]
+        return format_table(
+            ["benchmark", "VM exits", "throughput", "exec time"],
+            rows,
+            title=(
+                f"Fig. 5 / Table 3 [{self.size.name}: {self.size.vcpus} vCPUs, "
+                f"{self.size.sockets_used} socket(s)] — paratick vs tickless\n"
+                f"(paper: {p[0]:+.0%} exits, {p[1]:+.0%} throughput, {p[2]:+.0%} exec time)"
+            ),
+        )
+
+
+def run_size(
+    size: VmSize,
+    *,
+    benches: tuple[str, ...] = parsec.BENCHMARK_NAMES,
+    target_cycles: int | None = None,
+    seed: int = 0,
+) -> Fig5Result:
+    """One VM-size scenario across the benchmark list."""
+    budget = target_cycles if target_cycles is not None else DEFAULT_BUDGETS[size.name]
+    pins = pins_for_size(size)
+    comps = []
+    for bench in benches:
+        wl = parsec.benchmark(bench, threads=size.vcpus, target_cycles=budget)
+        comp, _b, _c = run_comparison(wl, pinned_cpus=pins, seed=seed, label=bench)
+        comps.append(comp)
+    return Fig5Result(size, comps, aggregate_improvements(comps, label=f"average ({size.name})"))
+
+
+def run_all(**kwargs) -> list[Fig5Result]:
+    """All three scenarios (the full Table 3)."""
+    return [run_size(size, **kwargs) for size in VM_SIZES]

@@ -1,0 +1,79 @@
+"""Quick self-validation battery (`python -m repro validate`).
+
+Runs a fast subset of the reproduction's load-bearing invariants so a
+user can confirm an installation behaves before launching the full
+benchmark suite (~1 minute instead of ~20).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.config import TickMode
+from repro.core.model import TABLE1_PAPER, table1_row
+from repro.experiments.runner import run_comparison, run_workload
+from repro.sim.timebase import SEC
+from repro.workloads.micro import IdleWorkload, PingPongWorkload, SyncStormWorkload
+
+
+@dataclass
+class CheckResult:
+    name: str
+    passed: bool
+    detail: str
+
+
+def _check(name: str, fn: Callable[[], str]) -> CheckResult:
+    try:
+        return CheckResult(name, True, fn())
+    except AssertionError as e:
+        return CheckResult(name, False, str(e))
+
+
+def check_table1() -> str:
+    for w, paper in TABLE1_PAPER.items():
+        got = table1_row(w)
+        assert got == paper, f"{w}: {got} != paper {paper}"
+    return "all four rows exact"
+
+
+def check_determinism() -> str:
+    def fp():
+        m = run_workload(PingPongWorkload(rounds=100), seed=13)
+        return (m.exec_time_ns, m.total_exits, m.total_cycles)
+
+    a, b = fp(), fp()
+    assert a == b, f"{a} != {b}"
+    return f"bit-identical runs (exits={a[1]})"
+
+
+def check_idle_quiet() -> str:
+    m = run_workload(IdleWorkload(vcpus=4), tick_mode=TickMode.TICKLESS,
+                     noise=False, horizon_ns=SEC // 2)
+    assert m.total_exits < 60, f"{m.total_exits} exits on an idle tickless VM"
+    p = run_workload(IdleWorkload(vcpus=4), tick_mode=TickMode.PERIODIC,
+                     noise=False, horizon_ns=SEC // 2)
+    assert p.total_exits > 400, f"periodic idle VM too quiet ({p.total_exits})"
+    return f"tickless idle {m.total_exits} exits vs periodic {p.total_exits}"
+
+
+def check_paratick_wins_sync() -> str:
+    wl = SyncStormWorkload(threads=4, events_per_second=3000.0, duration_cycles=120_000_000)
+    comp, base, cand = run_comparison(wl, seed=5)
+    assert comp.vm_exits < -0.15, f"exits only {comp.vm_exits:+.1%}"
+    assert comp.throughput > 0.0, f"throughput {comp.throughput:+.1%}"
+    assert cand.timer_exits <= base.timer_exits, "§4.2 guarantee violated"
+    return f"exits {comp.vm_exits:+.1%}, throughput {comp.throughput:+.1%}"
+
+
+ALL_CHECKS = (
+    ("Table 1 closed forms", check_table1),
+    ("determinism", check_determinism),
+    ("idle VM behaviour", check_idle_quiet),
+    ("paratick vs tickless on blocking sync", check_paratick_wins_sync),
+)
+
+
+def run_all() -> list[CheckResult]:
+    return [_check(name, fn) for name, fn in ALL_CHECKS]

@@ -1,0 +1,14 @@
+"""The simulated guest kernel.
+
+A Linux-like kernel model: tasks on per-vCPU run queues, an idle loop
+with HLT, hrtimers, a timer wheel, softirqs, an RCU callback model,
+futex-style blocking synchronization, sync block I/O — and, at the heart
+of the reproduction, the scheduler-tick management modes of
+:mod:`repro.guest.ticksched` (periodic / tickless) and
+:mod:`repro.core.paratick_guest` (the paper's contribution).
+"""
+
+from repro.guest.kernel import GuestKernel
+from repro.guest.task import Task, TaskState
+
+__all__ = ["GuestKernel", "Task", "TaskState"]

@@ -1,0 +1,77 @@
+"""cpuidle: C-states and a menu-like idle governor (opt-in extension).
+
+Why this exists in a timer-path reproduction: the depth of the idle
+state a CPU may enter is bounded by the *next timer event* — exactly the
+quantity tick management controls. §2 cites the motivating data ([12]:
+idle phones spending "two thirds of their energy usage on processing
+scheduler ticks"), and §6.2 claims paratick's throughput gain "reduces
+energy consumption"; with a C-state model both claims become measurable
+(see ``repro.metrics.energy`` and ``benchmarks/bench_extension_energy``).
+
+The model is deliberately small: four states with datasheet-class exit
+latencies and powers, and a governor that (like Linux's menu governor)
+picks the deepest state whose target residency fits the predicted idle
+period. Enabled per-VM via ``VmSpec.cpuidle``; off by default so the
+calibrated headline results are unaffected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.sim.timebase import USEC
+
+
+@dataclass(frozen=True)
+class CState:
+    """One processor idle state."""
+
+    name: str
+    #: Wake-up cost paid when leaving the state.
+    exit_latency_ns: int
+    #: Minimum stay for the state to be worth entering.
+    target_residency_ns: int
+    #: Power while resident, as a fraction of active power.
+    power_fraction: float
+
+    def __post_init__(self) -> None:
+        if self.exit_latency_ns < 0 or self.target_residency_ns < 0:
+            raise ConfigError("latencies must be non-negative")
+        if not 0.0 <= self.power_fraction <= 1.0:
+            raise ConfigError("power fraction must be in [0,1]")
+
+
+#: Skylake-class state table (shallow to deep).
+C1 = CState("C1", exit_latency_ns=2 * USEC, target_residency_ns=2 * USEC, power_fraction=0.45)
+C1E = CState("C1E", exit_latency_ns=10 * USEC, target_residency_ns=20 * USEC, power_fraction=0.30)
+C3 = CState("C3", exit_latency_ns=33 * USEC, target_residency_ns=100 * USEC, power_fraction=0.12)
+C6 = CState("C6", exit_latency_ns=90 * USEC, target_residency_ns=400 * USEC, power_fraction=0.03)
+
+C_STATES: tuple[CState, ...] = (C1, C1E, C3, C6)
+
+
+class MenuGovernor:
+    """Pick the deepest state whose residency fits the predicted idle.
+
+    The prediction is the time to the next armed timer event — which is
+    why tick management matters: a tickless guest that stopped its tick
+    (or a paratick guest that never armed one) predicts long idle and
+    reaches deep states; a periodic guest is always at most one tick
+    period away from a wake-up.
+    """
+
+    def __init__(self, states: tuple[CState, ...] = C_STATES):
+        if not states:
+            raise ConfigError("need at least one C-state")
+        self.states = tuple(sorted(states, key=lambda s: s.target_residency_ns))
+
+    def select(self, predicted_idle_ns: int | None) -> CState:
+        """Choose a state; ``None`` means no timer armed (sleep 'forever')."""
+        if predicted_idle_ns is None:
+            return self.states[-1]
+        chosen = self.states[0]
+        for state in self.states:
+            if state.target_residency_ns <= predicted_idle_ns:
+                chosen = state
+        return chosen

@@ -1,0 +1,100 @@
+"""High-resolution timers (guest-side).
+
+A per-vCPU queue of absolute-deadline timers, mirroring Linux's hrtimer
+red-black tree. The scheduler tick in tickless mode *is* an hrtimer
+(``tick_sched_timer``); paratick's idle wake timer is one too. The
+earliest enqueued timer is what the clockevents layer programs into the
+``TSC_DEADLINE`` MSR — so the number of hardware (re)programmings, and
+therefore VM exits, falls out of this queue's behaviour.
+
+Implemented as a heap with lazy deletion (same pattern as the engine's
+event queue): cancel is O(1), peek/pop skip dead entries.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Optional
+
+from repro.errors import GuestError
+
+
+class Hrtimer:
+    """One high-resolution timer."""
+
+    __slots__ = ("expires_ns", "callback", "name", "_seq", "_active")
+
+    def __init__(self, expires_ns: int, callback: Callable[[], None], name: str, seq: int):
+        self.expires_ns = expires_ns
+        self.callback = callback
+        self.name = name
+        self._seq = seq
+        self._active = True
+
+    @property
+    def active(self) -> bool:
+        return self._active
+
+    def __lt__(self, other: "Hrtimer") -> bool:
+        return (self.expires_ns, self._seq) < (other.expires_ns, other._seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "" if self._active else " cancelled"
+        return f"<Hrtimer {self.name} @{self.expires_ns}{state}>"
+
+
+class HrtimerQueue:
+    """Per-vCPU set of pending hrtimers."""
+
+    def __init__(self) -> None:
+        self._heap: list[Hrtimer] = []
+        self._live = 0
+        self._seq = itertools.count()
+
+    def __len__(self) -> int:
+        return self._live
+
+    def add(self, expires_ns: int, callback: Callable[[], None], *, name: str = "hrtimer") -> Hrtimer:
+        """Enqueue a timer with an absolute expiry."""
+        if expires_ns < 0:
+            raise GuestError(f"negative expiry {expires_ns}")
+        t = Hrtimer(expires_ns, callback, name, next(self._seq))
+        heapq.heappush(self._heap, t)
+        self._live += 1
+        return t
+
+    def cancel(self, timer: Optional[Hrtimer]) -> bool:
+        """Deactivate a timer; returns True if it was still pending."""
+        if timer is None or not timer._active:
+            return False
+        timer._active = False
+        self._live -= 1
+        return True
+
+    def _drop_dead(self) -> None:
+        heap = self._heap
+        while heap and not heap[0]._active:
+            heapq.heappop(heap)
+
+    def next_expiry(self) -> Optional[int]:
+        """Earliest pending expiry, or None when the queue is empty."""
+        self._drop_dead()
+        return self._heap[0].expires_ns if self._heap else None
+
+    def pop_expired(self, now_ns: int) -> list[Hrtimer]:
+        """Remove and return every timer with ``expires <= now``, in order."""
+        out: list[Hrtimer] = []
+        while True:
+            self._drop_dead()
+            if not self._heap or self._heap[0].expires_ns > now_ns:
+                break
+            t = heapq.heappop(self._heap)
+            t._active = False
+            self._live -= 1
+            out.append(t)
+        return out
+
+    def pending_names(self) -> list[str]:
+        """Names of live timers (for tests/traces)."""
+        return sorted(t.name for t in self._heap if t._active)

@@ -1,0 +1,67 @@
+"""Background daemon noise.
+
+Any real guest runs kernel threads and system daemons that wake briefly
+at irregular intervals (journald, ksoftirqd housekeeping, cron, NTP...).
+This background matters to the reproduction because each wakeup is an
+idle exit+entry pair — exactly the events whose timer cost differs
+between tickless and paratick. A "sequential PARSEC benchmark on a
+1-vCPU VM" (§6.1) is never a perfectly quiet machine.
+
+Rates are deterministic per seed. The default (one daemon per vCPU,
+~50 ms mean sleep → ~20 wakeups/s/vCPU) is in the range reported by
+``powertop`` for a stock Ubuntu 20.04 guest.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.errors import ConfigError
+from repro.guest.kernel import GuestKernel
+from repro.guest.task import Run, Sleep, Task
+from repro.sim.timebase import MSEC
+
+
+#: Default mean sleep between daemon wakeups.
+DEFAULT_MEAN_SLEEP_NS = 50 * MSEC
+#: Default work burst per wakeup (cycles).
+DEFAULT_BURST_CYCLES = 15_000
+#: Daemons per vCPU.
+DEFAULT_DAEMONS_PER_VCPU = 1
+
+
+def daemon_body(
+    kernel: GuestKernel,
+    stream: str,
+    *,
+    mean_sleep_ns: int = DEFAULT_MEAN_SLEEP_NS,
+    burst_cycles: int = DEFAULT_BURST_CYCLES,
+) -> Generator:
+    """An endless sleep/work loop with exponential sleep times."""
+    if mean_sleep_ns <= 0 or burst_cycles <= 0:
+        raise ConfigError("noise daemon parameters must be positive")
+    rng = kernel.sim.rng
+    while True:
+        yield Sleep(rng.exponential_ns(stream, mean_sleep_ns))
+        yield Run(burst_cycles)
+
+
+def install_noise(
+    kernel: GuestKernel,
+    *,
+    daemons_per_vcpu: int = DEFAULT_DAEMONS_PER_VCPU,
+    mean_sleep_ns: int = DEFAULT_MEAN_SLEEP_NS,
+    burst_cycles: int = DEFAULT_BURST_CYCLES,
+) -> list[Task]:
+    """Add background daemons to every vCPU of a VM (when the spec asks)."""
+    tasks = []
+    for vidx in range(kernel.nvcpus):
+        for d in range(daemons_per_vcpu):
+            name = f"{kernel.vm.name}.noise{vidx}.{d}"
+            body = daemon_body(
+                kernel, stream=name, mean_sleep_ns=mean_sleep_ns, burst_cycles=burst_cycles
+            )
+            task = Task(name, body, affinity=vidx)
+            kernel.add_task(task)
+            tasks.append(task)
+    return tasks

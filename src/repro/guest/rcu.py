@@ -1,0 +1,108 @@
+"""A compact RCU callback model.
+
+Why RCU exists in this simulator at all: the tickless idle-entry decision
+(Fig. 1b) and paratick's idle-entry decision (Fig. 3c) both ask "does any
+system component — RCU, irq work — explicitly need the tick to remain
+enabled?". Whether RCU has pending callbacks on a vCPU therefore changes
+*which timer hardware writes happen*, which is the quantity under study.
+
+Model: kernel activity (scheduler switches, futex operations, I/O
+completions) enqueues callbacks at a deterministic rate (every Nth
+update-side operation). A callback becomes runnable after the vCPU has
+passed two quiescent states (ticks or context switches), approximating a
+grace period; runnable callbacks are invoked from the tick softirq.
+"""
+
+from __future__ import annotations
+
+from repro.errors import GuestError
+
+
+class RcuState:
+    """Per-vCPU RCU bookkeeping."""
+
+    __slots__ = ("waiting", "ready", "qs_count", "total_invoked", "total_enqueued")
+
+    def __init__(self) -> None:
+        #: Callbacks waiting for a grace period, as (enqueue_qs, count).
+        self.waiting: list[list[int]] = []
+        #: Callbacks past their grace period, ready to invoke.
+        self.ready = 0
+        #: Quiescent states observed by this vCPU.
+        self.qs_count = 0
+        self.total_invoked = 0
+        self.total_enqueued = 0
+
+
+class Rcu:
+    """VM-wide RCU with per-vCPU callback lists.
+
+    Args:
+        nvcpus: number of vCPUs.
+        ops_per_callback: one callback is enqueued per this many
+            update-side operations (deterministic, so runs are exactly
+            reproducible and A/B comparisons see identical RCU load).
+    """
+
+    #: Quiescent states a callback must wait through (grace period).
+    GRACE_QS = 2
+
+    def __init__(self, nvcpus: int, *, ops_per_callback: int = 256):
+        if nvcpus <= 0:
+            raise GuestError("need at least one vCPU")
+        if ops_per_callback <= 0:
+            raise GuestError("ops_per_callback must be positive")
+        self._states = [RcuState() for _ in range(nvcpus)]
+        self._ops_per_callback = ops_per_callback
+        self._op_counter = 0
+
+    # ----------------------------------------------------------- update side
+
+    def note_update_op(self, vcpu_index: int) -> None:
+        """An update-side kernel operation ran on ``vcpu_index``."""
+        self._op_counter += 1
+        if self._op_counter % self._ops_per_callback == 0:
+            st = self._states[vcpu_index]
+            st.waiting.append([st.qs_count, 1])
+            st.total_enqueued += 1
+
+    # -------------------------------------------------------- quiescence
+
+    def note_quiescent_state(self, vcpu_index: int) -> None:
+        """The vCPU passed a quiescent state (tick or context switch)."""
+        st = self._states[vcpu_index]
+        st.qs_count += 1
+        still_waiting: list[list[int]] = []
+        for enq_qs, count in st.waiting:
+            if st.qs_count - enq_qs >= self.GRACE_QS:
+                st.ready += count
+            else:
+                still_waiting.append([enq_qs, count])
+        st.waiting = still_waiting
+
+    # -------------------------------------------------------- invoke side
+
+    def take_ready(self, vcpu_index: int) -> int:
+        """Remove and return the number of invocable callbacks."""
+        st = self._states[vcpu_index]
+        n, st.ready = st.ready, 0
+        st.total_invoked += n
+        return n
+
+    # ----------------------------------------------------------- idle query
+
+    def needs_cpu(self, vcpu_index: int) -> bool:
+        """True when this vCPU must keep receiving ticks (Fig. 1b check)."""
+        st = self._states[vcpu_index]
+        return bool(st.waiting) or st.ready > 0
+
+    def pending(self, vcpu_index: int) -> int:
+        st = self._states[vcpu_index]
+        return st.ready + sum(c for _, c in st.waiting)
+
+    def stats(self) -> dict[str, int]:
+        """Aggregate enqueue/invoke counts across vCPUs."""
+        return {
+            "enqueued": sum(s.total_enqueued for s in self._states),
+            "invoked": sum(s.total_invoked for s in self._states),
+        }

@@ -1,0 +1,177 @@
+"""Blocking synchronization primitives (futex-style).
+
+These are the mechanisms behind §3.2's problem statement: "multithreaded
+applications employing blocking synchronization ... may block and
+unblock thousands of times per second", each block/unblock pair forcing
+a tickless guest to touch timer hardware twice.
+
+Objects here are passive state holders; the guest kernel performs the
+actual block/wake transitions (and pays the futex-path cycle costs) when
+translating task ops. Methods return which tasks must be woken so the
+kernel can route reschedule IPIs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Optional
+
+from repro.errors import GuestError
+from repro.guest.task import Task
+
+
+class Mutex:
+    """A blocking mutex (futex fast path + wait queue)."""
+
+    __slots__ = ("name", "owner", "waiters", "contended_acquires", "acquires")
+
+    def __init__(self, name: str = "mutex"):
+        self.name = name
+        self.owner: Optional[Task] = None
+        self.waiters: deque[Task] = deque()
+        self.acquires = 0
+        self.contended_acquires = 0
+
+    def try_lock(self, task: Task) -> bool:
+        """Attempt acquisition; on failure the task joins the wait queue."""
+        if self.owner is None:
+            self.owner = task
+            self.acquires += 1
+            return True
+        if self.owner is task:
+            raise GuestError(f"{task.name} double-locks {self.name}")
+        self.waiters.append(task)
+        self.contended_acquires += 1
+        return False
+
+    def unlock(self, task: Task) -> Optional[Task]:
+        """Release; returns the waiter that now owns the mutex, if any."""
+        if self.owner is not task:
+            raise GuestError(f"{task.name} unlocks {self.name} owned by {self.owner}")
+        if self.waiters:
+            nxt = self.waiters.popleft()
+            self.owner = nxt
+            self.acquires += 1
+            return nxt
+        self.owner = None
+        return None
+
+
+class Barrier:
+    """A cyclic barrier for ``parties`` tasks."""
+
+    __slots__ = ("name", "parties", "waiters", "generations")
+
+    def __init__(self, parties: int, name: str = "barrier"):
+        if parties <= 0:
+            raise GuestError("barrier needs at least one party")
+        self.name = name
+        self.parties = parties
+        self.waiters: list[Task] = []
+        #: Completed barrier episodes.
+        self.generations = 0
+
+    def arrive(self, task: Task) -> list[Task]:
+        """Register arrival.
+
+        Returns the list of tasks to wake when this arrival completes the
+        barrier (the arriving task itself is *not* in the list — it never
+        blocked); otherwise an empty list, meaning the caller blocks.
+        """
+        if task in self.waiters:
+            raise GuestError(f"{task.name} arrives twice at {self.name}")
+        if len(self.waiters) + 1 == self.parties:
+            woken, self.waiters = self.waiters, []
+            self.generations += 1
+            return woken
+        self.waiters.append(task)
+        return []
+
+
+class CondVar:
+    """Condition variable with permit-accumulating signals.
+
+    Real pthread condvars lose signals that arrive before the wait; real
+    *programs* do not, because the wait sits inside a mutex-protected
+    predicate re-check. We do not model the enclosing predicate, so
+    signals targeting an empty wait queue accumulate as permits that
+    satisfy future waits — which reproduces the program-level blocking
+    pattern without the race. Broadcasts never accumulate (a broadcast
+    of nobody is a no-op, matching predicate semantics).
+    """
+
+    __slots__ = ("name", "waiters", "signals", "permits")
+
+    def __init__(self, name: str = "cond"):
+        self.name = name
+        self.waiters: deque[Task] = deque()
+        self.signals = 0
+        self.permits = 0
+
+    def wait(self, task: Task) -> bool:
+        """Returns True when the task must block (no banked permit)."""
+        if self.permits > 0:
+            self.permits -= 1
+            return False
+        self.waiters.append(task)
+        return True
+
+    def take(self, n: int) -> list[Task]:
+        """Wake up to ``n`` waiters (-1 = all), banking any surplus."""
+        self.signals += 1
+        if n == -1:
+            out = list(self.waiters)
+            self.waiters.clear()
+            return out
+        out = [self.waiters.popleft() for _ in range(min(n, len(self.waiters)))]
+        self.permits += n - len(out)
+        return out
+
+
+class BoundedQueue:
+    """A bounded producer/consumer queue (pipeline-parallel workloads).
+
+    Models the hand-off structure of PARSEC's dedup/ferret/x264
+    pipelines: producers block when the queue is full, consumers when it
+    is empty — generating exactly the brief, frequent idle periods the
+    paper targets.
+    """
+
+    __slots__ = ("name", "capacity", "items", "put_waiters", "get_waiters")
+
+    def __init__(self, capacity: int, name: str = "queue"):
+        if capacity <= 0:
+            raise GuestError("queue capacity must be positive")
+        self.name = name
+        self.capacity = capacity
+        self.items: deque[Any] = deque()
+        self.put_waiters: deque[tuple[Task, Any]] = deque()
+        self.get_waiters: deque[Task] = deque()
+
+    def put(self, task: Task, item: Any) -> tuple[bool, Optional[Task]]:
+        """Returns (blocked, consumer_to_wake)."""
+        if self.get_waiters:
+            consumer = self.get_waiters.popleft()
+            consumer.pending_value = item
+            return False, consumer
+        if len(self.items) < self.capacity:
+            self.items.append(item)
+            return False, None
+        self.put_waiters.append((task, item))
+        return True, None
+
+    def get(self, task: Task) -> tuple[bool, Any, Optional[Task]]:
+        """Returns (blocked, item, producer_to_wake)."""
+        if self.items:
+            item = self.items.popleft()
+            producer = None
+            if self.put_waiters:
+                producer, pending = self.put_waiters.popleft()
+                self.items.append(pending)
+            return False, item, producer
+        if self.put_waiters:
+            # Capacity 0..N edge: hand off directly from a blocked producer.
+            producer, pending = self.put_waiters.popleft()
+            return False, pending, producer
+        self.get_waiters.append(task)
+        return True, None, None

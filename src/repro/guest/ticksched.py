@@ -1,0 +1,191 @@
+"""Scheduler-tick management policies (paper §2, Fig. 1).
+
+Three policies exist; two live here and the paravirtualized one
+(:class:`repro.core.paratick_guest.ParatickPolicy`) subclasses the same
+base:
+
+* :class:`PeriodicPolicy` — the classic periodic tick (§3.1): the guest
+  programs its virtual LAPIC in periodic mode once at boot; every tick
+  is delivered regardless of load.
+* :class:`NohzPolicy` — Linux dynticks-idle (§3.2, Fig. 1): the tick is
+  an hrtimer whose handler re-arms the ``TSC_DEADLINE`` MSR each period;
+  idle entry stops the tick (one MSR write), idle exit restarts it
+  (another MSR write).
+
+A policy's job is exactly to decide *which timer-hardware interactions
+happen when* — every hardware touch it makes becomes a VM exit upstream,
+so these ~200 lines are where the paper's entire exit budget comes from.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import GuestError
+from repro.guest import ops as gops
+from repro.hw.cpu import CycleDomain
+from repro.hw.msr import Msr
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.guest.kernel import GuestKernel
+
+K = CycleDomain.GUEST_KERNEL
+
+
+class TickPolicy:
+    """Base tick-management policy; one instance serves all vCPUs of a VM."""
+
+    name = "abstract"
+
+    def __init__(self, kernel: "GuestKernel"):
+        self.k = kernel
+
+    # Hooks ------------------------------------------------------------
+
+    def on_boot(self, vidx: int) -> None:
+        """Install the tick mechanism during boot."""
+        raise NotImplementedError
+
+    def on_timer_irq(self, vidx: int) -> None:
+        """A LOCAL_TIMER interrupt (vector 236) was injected."""
+        raise NotImplementedError
+
+    def on_virtual_tick(self, vidx: int) -> None:
+        """A paratick virtual tick (vector 235) was injected.
+
+        §5.2.1: ticks arriving when the mode does not expect them are
+        rejected — we ignore them (the injection cost was already paid).
+        """
+
+    def on_idle_enter(self, vidx: int) -> None:
+        """The idle loop is about to halt (runs on every loop pass)."""
+        raise NotImplementedError
+
+    def on_idle_exit(self, vidx: int) -> None:
+        """The idle loop is exiting to run a task."""
+        raise NotImplementedError
+
+
+class PeriodicPolicy(TickPolicy):
+    """Classic periodic scheduler tick.
+
+    Boot programs the virtual LAPIC timer in periodic mode (one
+    TMICT write); thereafter the hypervisor delivers LOCAL_TIMER at the
+    fixed rate, waking the vCPU if it is halted — which is precisely why
+    §3.1 finds periodic ticks so costly on idle, overcommitted hosts.
+    """
+
+    name = "periodic"
+
+    def on_boot(self, vidx: int) -> None:
+        c = self.k.costs
+        self.k.push(vidx, gops.Compute(c.guest_timer_program, K))
+        self.k.push(vidx, gops.Wrmsr(Msr.X2APIC_TMICT, self.k.period_ns))
+
+    def on_timer_irq(self, vidx: int) -> None:
+        # Fig. 1a without the reprogramming step: periodic hardware
+        # re-fires by itself.
+        self.k.push_tick_work(vidx)
+
+    def on_idle_enter(self, vidx: int) -> None:
+        """No tick management on idle entry — the tick just keeps firing."""
+
+    def on_idle_exit(self, vidx: int) -> None:
+        """No tick management on idle exit either."""
+
+
+class NohzPolicy(TickPolicy):
+    """Linux dynticks-idle ("tickless") — Fig. 1.
+
+    Per-vCPU state lives in the kernel's vCPU context:
+    ``tick_stopped`` plus the tick hrtimer handle.
+    """
+
+    name = "tickless"
+
+    def on_boot(self, vidx: int) -> None:
+        self._enqueue_tick(vidx)
+        self.k.reprogram_hw(vidx)
+
+    # ------------------------------------------------------------ tick timer
+
+    def _enqueue_tick(self, vidx: int) -> None:
+        """Arm the tick hrtimer for the next aligned tick boundary."""
+        ctx = self.k.ctx(vidx)
+        period = self.k.period_ns
+        expires = (self.k.now() // period + 1) * period
+        ctx.tick_hrtimer = ctx.hrtimers.add(
+            expires, lambda: self._tick_fired(vidx), name="tick_sched_timer"
+        )
+
+    def _tick_fired(self, vidx: int) -> None:
+        """hrtimer callback: do tick work, restart the timer (Fig. 1a)."""
+        self.k.push_tick_work(vidx)
+        ctx = self.k.ctx(vidx)
+        if not ctx.tick_stopped:
+            self._enqueue_tick(vidx)
+
+    # -------------------------------------------------------------- LOCAL_TIMER
+
+    def on_timer_irq(self, vidx: int) -> None:
+        ctx = self.k.ctx(vidx)
+        expired = ctx.hrtimers.pop_expired(self.k.now())
+        for timer in expired:
+            timer.callback()
+        if ctx.tick_stopped:
+            # The deadline stood in for a deferred wheel/RCU event
+            # (Fig. 1b's "program tick to expire at next event").
+            self.k.service_wheel(vidx)
+        # Fig. 1a: "tick deferred or disabled? -> skip reprogramming";
+        # reprogram_hw is a no-op when nothing needs the hardware.
+        self.k.reprogram_hw(vidx)
+
+    # ------------------------------------------------------------- idle hooks
+
+    def on_idle_enter(self, vidx: int) -> None:
+        """Fig. 1b: decide whether to stop the tick before halting."""
+        ctx = self.k.ctx(vidx)
+        k = self.k
+        if not ctx.tick_stopped:
+            if self._must_keep_tick(vidx):
+                return  # tick stays armed; no hardware touched
+            ctx.hrtimers.cancel(ctx.tick_hrtimer)
+            ctx.tick_hrtimer = None
+            ctx.tick_stopped = True
+            k.reprogram_hw(vidx)  # defer to next event, or disarm entirely
+        else:
+            # Re-entering idle after an interrupt that woke nothing: the
+            # next-event deadline may have moved.
+            k.reprogram_hw(vidx)
+
+    def _must_keep_tick(self, vidx: int) -> bool:
+        """RCU/softirq checks of Fig. 1b."""
+        k = self.k
+        if k.rcu.needs_cpu(vidx):
+            return True
+        nxt = k.next_soft_event_ns(vidx)
+        return nxt is not None and nxt <= k.now() + k.period_ns
+
+    def on_idle_exit(self, vidx: int) -> None:
+        """Fig. 1c: restart the tick if it was stopped."""
+        ctx = self.k.ctx(vidx)
+        if not ctx.tick_stopped:
+            return
+        ctx.tick_stopped = False
+        self._enqueue_tick(vidx)
+        self.k.reprogram_hw(vidx)
+
+
+def make_policy(kernel: "GuestKernel") -> TickPolicy:
+    """Instantiate the policy selected by the VM spec."""
+    from repro.config import TickMode
+    from repro.core.paratick_guest import ParatickPolicy
+
+    mode = kernel.tick_mode
+    if mode is TickMode.PERIODIC:
+        return PeriodicPolicy(kernel)
+    if mode is TickMode.TICKLESS:
+        return NohzPolicy(kernel)
+    if mode is TickMode.PARATICK:
+        return ParatickPolicy(kernel)
+    raise GuestError(f"unknown tick mode {mode}")

@@ -1,0 +1,148 @@
+"""Hierarchical timer wheel (guest-side soft timers).
+
+Models Linux's timer wheel (§2: "the application timer is added to a
+dedicated data structure (e.g. the timer wheel in Linux)"). Soft timers
+(``nanosleep``, network timeouts, writeback deadlines) live here; they
+are serviced from the timer softirq, which runs when a scheduler tick —
+physical, deferred-deadline or paratick-virtual — arrives.
+
+The implementation is the classic cascading hierarchy: level 0 buckets
+have jiffy resolution, each higher level is ``LVL_SIZE`` times coarser.
+Timers on higher levels cascade down as their slot boundary is crossed;
+they fire on jiffy granularity, possibly *later* than requested but never
+earlier — a property the hypothesis tests pin down.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import GuestError
+
+
+class WheelTimer:
+    """One soft timer."""
+
+    __slots__ = ("expires_jiffies", "callback", "name", "_active")
+
+    def __init__(self, expires_jiffies: int, callback: Callable[[], None], name: str):
+        self.expires_jiffies = expires_jiffies
+        self.callback = callback
+        self.name = name
+        self._active = True
+
+    @property
+    def active(self) -> bool:
+        return self._active
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<WheelTimer {self.name} @j{self.expires_jiffies}>"
+
+
+class TimerWheel:
+    """Hierarchical wheel keyed in jiffies (guest tick units)."""
+
+    LVL_BITS = 6
+    LVL_SIZE = 1 << LVL_BITS  # 64 buckets per level
+    LEVELS = 8
+
+    def __init__(self, *, start_jiffies: int = 0) -> None:
+        self._buckets: list[list[list[WheelTimer]]] = [
+            [[] for _ in range(self.LVL_SIZE)] for _ in range(self.LEVELS)
+        ]
+        self._current = start_jiffies
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def current_jiffies(self) -> int:
+        return self._current
+
+    # -------------------------------------------------------------- placing
+
+    def _place(self, timer: WheelTimer) -> None:
+        """Append ``timer`` to the bucket covering its expiry."""
+        delta = max(timer.expires_jiffies - self._current, 0)
+        level = 0
+        span = self.LVL_SIZE
+        while delta >= span and level < self.LEVELS - 1:
+            level += 1
+            span <<= self.LVL_BITS
+        gran_bits = level * self.LVL_BITS
+        slot = (timer.expires_jiffies >> gran_bits) & (self.LVL_SIZE - 1)
+        self._buckets[level][slot].append(timer)
+
+    def add(self, expires_jiffies: int, callback: Callable[[], None], *, name: str = "timer") -> WheelTimer:
+        """Enqueue a timer for an absolute jiffy count."""
+        if expires_jiffies <= self._current:
+            expires_jiffies = self._current + 1  # fires on the next advance
+        t = WheelTimer(expires_jiffies, callback, name)
+        self._place(t)
+        self._count += 1
+        return t
+
+    def cancel(self, timer: Optional[WheelTimer]) -> bool:
+        """Deactivate a timer; returns True if it had not fired yet."""
+        if timer is None or not timer._active:
+            return False
+        timer._active = False
+        self._count -= 1
+        return True
+
+    # ------------------------------------------------------------- advancing
+
+    def advance_to(self, jiffies: int) -> list[WheelTimer]:
+        """Move time forward; return fired timers in expiry order."""
+        if jiffies < self._current:
+            raise GuestError(f"wheel cannot run backwards ({jiffies} < {self._current})")
+        fired: list[WheelTimer] = []
+        while self._current < jiffies:
+            self._current += 1
+            self._step(fired)
+        fired.sort(key=lambda t: t.expires_jiffies)
+        return fired
+
+    def _step(self, fired: list[WheelTimer]) -> None:
+        """Process one jiffy: fire level 0, cascade crossed boundaries."""
+        cur = self._current
+        # Level 0: every live timer in this slot is due (placement
+        # guarantees expiry within one wheel revolution).
+        slot0 = cur & (self.LVL_SIZE - 1)
+        self._drain(self._buckets[0][slot0], fired)
+        # Higher levels: when a level's granularity boundary is crossed,
+        # re-place (cascade) that slot's timers; due ones fire.
+        for level in range(1, self.LEVELS):
+            gran_bits = level * self.LVL_BITS
+            if cur & ((1 << gran_bits) - 1):
+                break
+            slot = (cur >> gran_bits) & (self.LVL_SIZE - 1)
+            self._drain(self._buckets[level][slot], fired)
+
+    def _drain(self, bucket: list[WheelTimer], fired: list[WheelTimer]) -> None:
+        pending = [t for t in bucket if t._active]
+        bucket.clear()
+        for t in pending:
+            if t.expires_jiffies <= self._current:
+                t._active = False
+                self._count -= 1
+                fired.append(t)
+            else:
+                self._place(t)
+
+    # -------------------------------------------------------------- queries
+
+    def next_expiry(self) -> Optional[int]:
+        """Earliest pending expiry in jiffies, or None if empty.
+
+        O(live timers) scan — acceptable because the idle path calls it
+        once per idle entry and guest timer queues are short.
+        """
+        best: Optional[int] = None
+        for level in self._buckets:
+            for bucket in level:
+                for t in bucket:
+                    if t._active and (best is None or t.expires_jiffies < best):
+                        best = t.expires_jiffies
+        return best

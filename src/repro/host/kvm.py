@@ -1,0 +1,694 @@
+"""The hypervisor: vCPU executors, VM exits, injection, host ticks.
+
+This module is the simulator's KVM. Each vCPU is driven by a
+:class:`_VcpuExec` state machine that consumes the guest's primitive-op
+stream (:mod:`repro.guest.ops`) and models the hardware-assisted
+virtualization behaviour the paper analyses:
+
+* synchronous exits for intercepted instructions — ``WRMSR
+  TSC_DEADLINE`` (tag TIMER_PROGRAM), ``WRMSR ICR`` (IPIs), ``HLT``,
+  I/O kicks, hypercalls;
+* asynchronous exits — host scheduler ticks (EXTERNAL_INTERRUPT, tag
+  TIMER_HOST_TICK), device completions and IPIs arriving while the vCPU
+  runs;
+* the KVM **preemption-timer optimization** (§3): guest deadline writes
+  arm the VMX preemption timer, whose expiry is a cheaper
+  PREEMPTION_TIMER exit; while the vCPU is blocked, a host-side timer
+  stands in;
+* **interrupt injection on VM entry**, which is also where the paratick
+  host hook lives (§5.1 / Fig. 2): update ``last_tick`` when a local
+  timer interrupt is about to be injected, else inject virtual tick 235
+  when a tick period has elapsed.
+
+Timing/accounting convention: every segment of host or guest execution
+is accounted *in arrears*, when the segment's completion event fires.
+A preempted guest compute segment accounts only its elapsed portion and
+its remainder is re-queued at the front of the guest op stream.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import HostFeatures, VmSpec
+from repro.errors import HostError
+from repro.guest import ops as gops
+from repro.hw.cpu import CycleDomain, Machine
+from repro.hw.interrupts import Vector
+from repro.hw.iodev import IoRequest
+from repro.hw.msr import Msr
+from repro.hw.preemption import PreemptionTimer
+from repro.hw.tsc import Tsc
+from repro.host.costs import DEFAULT_COSTS, CostModel
+from repro.host.exitreasons import ExitReason, ExitTag
+from repro.host.sched import HostScheduler
+from repro.host.vcpu import VCpu, VcpuState
+from repro.metrics.counters import ExitCounters
+from repro.sim.engine import Simulator
+
+#: Hypercall numbers.
+HC_PARATICK_SET_PERIOD = 1
+
+#: Safety bound on zero-duration guest ops handled back-to-back.
+_MAX_OP_CHAIN = 100_000
+
+
+class VirtualMachine:
+    """One guest VM: spec, vCPUs, exit counters and paratick host state."""
+
+    def __init__(self, hv: "Hypervisor", spec: VmSpec, vcpus: list[VCpu]):
+        self.hv = hv
+        self.spec = spec
+        self.vcpus = vcpus
+        self.counters = ExitCounters()
+        self.kernel = None  # attached by the guest side
+        #: Paratick host state (set by the boot hypercall, §4.1).
+        self.paratick_enabled = False
+        self.paratick_period_ns = 0
+        #: Virtual ticks (vector 235) injected across all vCPUs.
+        self.virtual_ticks_injected = 0
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def attach_kernel(self, kernel) -> None:
+        """Wire the guest kernel driving this VM's vCPUs."""
+        if self.kernel is not None:
+            raise HostError(f"VM {self.name}: kernel already attached")
+        self.kernel = kernel
+
+    def handle_hypercall(self, vcpu: VCpu, nr: int, arg: int) -> None:
+        """Service a VMCALL from the guest."""
+        if nr == HC_PARATICK_SET_PERIOD:
+            if arg <= 0:
+                raise HostError(f"VM {self.name}: invalid paratick period {arg}")
+            self.paratick_period_ns = arg
+            self.paratick_enabled = True
+            now = self.hv.sim.now
+            for v in self.vcpus:
+                v.last_virtual_tick_ns = now
+        else:
+            raise HostError(f"VM {self.name}: unknown hypercall {nr}")
+
+
+class Hypervisor:
+    """Machine-wide hypervisor state: VMs, host scheduler, host ticks."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        machine: Machine,
+        *,
+        costs: CostModel = DEFAULT_COSTS,
+        features: HostFeatures = HostFeatures(),
+    ):
+        self.sim = sim
+        self.machine = machine
+        self.costs = costs
+        self.features = features
+        self.tsc = Tsc(sim, machine.clock)
+        self.sched = HostScheduler(machine.spec.total_cpus)
+        self.vms: list[VirtualMachine] = []
+        self._host_tick_events: dict[int, object] = {}
+        self._next_auto_cpu = 0
+
+    # ----------------------------------------------------------- VM set-up
+
+    def create_vm(self, spec: VmSpec) -> VirtualMachine:
+        """Create a VM, placing its vCPUs on physical CPUs."""
+        cpus = spec.pinned_cpus
+        if cpus is None:
+            total = self.machine.spec.total_cpus
+            cpus = tuple((self._next_auto_cpu + i) % total for i in range(spec.vcpus))
+            self._next_auto_cpu = (self._next_auto_cpu + spec.vcpus) % total
+        vcpus = [VCpu(i, spec.name, self.machine.cpu(c)) for i, c in enumerate(cpus)]
+        vm = VirtualMachine(self, spec, vcpus)
+        for v in vcpus:
+            v.exec = _VcpuExec(self, vm, v)
+        self.vms.append(vm)
+        return vm
+
+    def start(self) -> None:
+        """Boot every VM: all vCPUs become runnable at t=now."""
+        for vm in self.vms:
+            if vm.kernel is None:
+                raise HostError(f"VM {vm.name} has no kernel attached")
+            for v in vm.vcpus:
+                v.exec.start()
+
+    # ---------------------------------------------------------- interrupts
+
+    def send_ipi(self, vm: VirtualMachine, src: VCpu, dest_index: int, vector: Vector) -> None:
+        """Deliver an inter-processor interrupt between two vCPUs of a VM."""
+        if not 0 <= dest_index < len(vm.vcpus):
+            raise HostError(f"VM {vm.name}: IPI to unknown vCPU {dest_index}")
+        dest = vm.vcpus[dest_index]
+        cross = not self.machine.same_socket(src.pcpu.index, dest.pcpu.index)
+        dest.exec.deliver(vector, ExitTag.IPI, cross_socket=cross)
+
+    def deliver_device_irq(self, vm: VirtualMachine, vcpu_index: int, vector: Vector) -> None:
+        """Inject a device completion interrupt into a vCPU."""
+        vm.vcpus[vcpu_index].exec.deliver(vector, ExitTag.IO)
+
+    def complete_io_request(
+        self,
+        vm: VirtualMachine,
+        vcpu_index: int,
+        req: IoRequest,
+        *,
+        vector: Vector = Vector.BLOCK_IO,
+    ) -> None:
+        """Device completion path: vhost backend work, then injection.
+
+        The backend work runs on a host service thread concurrently with
+        whatever the vCPU is doing, so its cycles are accounted without
+        occupying the vCPU's timeline; the interrupt reaches the guest
+        after the backend latency.
+        """
+        vcpu = vm.vcpus[vcpu_index]
+        backend_ns = self.machine.clock.cycles_to_ns(self.costs.host_io_backend)
+        vcpu.pcpu.account(CycleDomain.HOST_IO, backend_ns)
+        self.sim.schedule(backend_ns, self._deliver_io_completion, vm, vcpu_index, req, vector)
+
+    #: Backwards-compatible name (block devices were wired first).
+    complete_block_request = complete_io_request
+
+    def _deliver_io_completion(
+        self, vm: VirtualMachine, vcpu_index: int, req: IoRequest, vector: Vector
+    ) -> None:
+        vm.kernel.io_complete(vcpu_index, req)
+        self.deliver_device_irq(vm, vcpu_index, vector)
+
+    # ----------------------------------------------------------- host tick
+
+    def ensure_host_tick(self, pcpu_index: int) -> None:
+        """Keep the host tick running on a CPU that is executing guests.
+
+        The host itself runs dynticks: its tick is live only while the
+        CPU is busy (which is when it matters to paratick — §4.1 relies
+        on host ticks interrupting *running* vCPUs).
+        """
+        if self._host_tick_events.get(pcpu_index) is not None:
+            return
+        period = self.machine.spec.host_tick_period_ns
+        next_fire = (self.sim.now // period + 1) * period
+        self._host_tick_events[pcpu_index] = self.sim.at(next_fire, self._host_tick, pcpu_index)
+
+    def _host_tick(self, pcpu_index: int) -> None:
+        self._host_tick_events[pcpu_index] = None
+        vcpu = self.sched.running_on(pcpu_index)
+        if vcpu is None or vcpu.state in (VcpuState.HALTED, VcpuState.OFF):
+            return  # CPU idle: host is tickless, chain stops until next dispatch
+        period = self.machine.spec.host_tick_period_ns
+        self._host_tick_events[pcpu_index] = self.sim.schedule(period, self._host_tick, pcpu_index)
+        vcpu.exec.host_tick_interrupt(preempt=self.sched.wants_preemption(pcpu_index))
+
+    # ------------------------------------------------------------- readouts
+
+    def find_vm(self, name: str) -> VirtualMachine:
+        for vm in self.vms:
+            if vm.name == name:
+                return vm
+        raise HostError(f"no VM named {name!r}")
+
+    def total_exits(self) -> int:
+        return sum(vm.counters.total for vm in self.vms)
+
+
+class _VcpuExec:
+    """Per-vCPU execution state machine (the KVM vcpu_run loop)."""
+
+    __slots__ = (
+        "hv",
+        "sim",
+        "vm",
+        "vcpu",
+        "costs",
+        "clock",
+        "preempt_timer",
+        "_cur_op",
+        "_cur_start",
+        "_cur_dur",
+        "_cur_event",
+        "_host_deadline_event",
+        "_polling",
+        "_poll_event",
+        "_poll_start",
+        "_virt_periodic_ns",
+        "_periodic_event",
+    )
+
+    def __init__(self, hv: Hypervisor, vm: VirtualMachine, vcpu: VCpu):
+        self.hv = hv
+        self.sim = hv.sim
+        self.vm = vm
+        self.vcpu = vcpu
+        self.costs = hv.costs
+        self.clock = hv.machine.clock
+        self.preempt_timer = PreemptionTimer(hv.sim, self._on_preempt_timer)
+        self._cur_op: Optional[gops.Compute] = None
+        self._cur_start = 0
+        self._cur_dur = 0
+        self._cur_event = None
+        self._host_deadline_event = None
+        self._polling = False
+        self._poll_event = None
+        self._poll_start = 0
+        self._virt_periodic_ns = 0
+        self._periodic_event = None
+
+    # ------------------------------------------------------------ lifecycle
+
+    def start(self) -> None:
+        """Make the vCPU runnable for the first time."""
+        if self.vcpu.state is not VcpuState.INIT:
+            raise HostError(f"{self.vcpu!r} started twice")
+        self.vcpu.state = VcpuState.EXITED
+        if self.hv.sched.acquire(self.vcpu):
+            self._enter_guest()
+        # else: queued READY; dispatched when the CPU frees up.
+
+    def shutdown(self) -> None:
+        """Stop driving this vCPU."""
+        self._cancel_cur()
+        self._cancel_host_deadline()
+        if self._periodic_event is not None:
+            self.sim.cancel(self._periodic_event)
+            self._periodic_event = None
+        self.preempt_timer.stop()
+        self.hv.sched.forget(self.vcpu)
+        self.vcpu.state = VcpuState.OFF
+
+    # ------------------------------------------------------------- VM entry
+
+    def _enter_guest(self) -> None:
+        """Begin the VM-entry sequence (we hold the physical CPU)."""
+        vcpu = self.vcpu
+        self._cancel_host_deadline()
+        self.hv.ensure_host_tick(vcpu.pcpu.index)
+        # Paratick host hook (Fig. 2): runs on every VM entry.
+        if self.vm.paratick_enabled:
+            now = self.sim.now
+            if vcpu.has_pending_timer_irq and self.hv.features.paratick_last_tick_heuristic:
+                # Heuristic of §5.1: the pending guest timer interrupt
+                # will act as a tick.
+                vcpu.last_virtual_tick_ns = now
+            elif now - vcpu.last_virtual_tick_ns >= self.vm.paratick_period_ns:
+                if vcpu.post_irq(Vector.PARATICK_VIRTUAL_TICK):
+                    self.vm.virtual_ticks_injected += 1
+                vcpu.last_virtual_tick_ns = now
+        vectors = vcpu.drain_irqs()
+        if vectors and self.sim.trace.enabled:
+            self.sim.trace.emit(
+                self.sim.now, f"{self.vm.name}/vcpu{vcpu.index}", "inject",
+                tuple(int(v) for v in vectors),
+            )
+        c = self.costs
+        entry_cycles = c.vmentry_hw + c.inject_irq * len(vectors)
+        entry_ns = self.clock.cycles_to_ns(entry_cycles)
+        pollution_ns = self.clock.cycles_to_ns(c.pollution)
+        self.sim.schedule(entry_ns + pollution_ns, self._entered, vectors, entry_ns, pollution_ns)
+
+    def _entered(self, vectors: tuple, entry_ns: int, pollution_ns: int) -> None:
+        vcpu = self.vcpu
+        vcpu.pcpu.account(CycleDomain.VMX_TRANSITION, entry_ns)
+        vcpu.pcpu.account(CycleDomain.POLLUTION, pollution_ns)
+        vcpu.state = VcpuState.GUEST
+        deadline = vcpu.guest_deadline_ns
+        if (
+            self.hv.features.paratick_rate_adapt
+            and self.vm.paratick_enabled
+            and self.vm.paratick_period_ns > 0
+        ):
+            # §4.1 rate adaptation: guarantee an injection opportunity
+            # once per guest tick period even if the host tick is slower.
+            backstop = vcpu.last_virtual_tick_ns + self.vm.paratick_period_ns
+            if deadline is None or backstop < deadline:
+                deadline = backstop
+        self.preempt_timer.set_deadline(deadline)
+        self.preempt_timer.start()
+        if vectors:
+            self.vm.kernel.on_interrupts(vcpu.index, vectors)
+        self._next_op()
+
+    # ----------------------------------------------------------- op stream
+
+    def _next_op(self) -> None:
+        kernel = self.vm.kernel
+        vcpu = self.vcpu
+        for _ in range(_MAX_OP_CHAIN):
+            op = kernel.next_op(vcpu.index)
+            if op is None:
+                self.shutdown()
+                return
+            if isinstance(op, gops.Compute):
+                if op.cycles == 0:
+                    if op.on_done is not None:
+                        op.on_done()
+                    continue
+                self._cur_op = op
+                self._cur_start = self.sim.now
+                self._cur_dur = self.clock.cycles_to_ns(op.cycles)
+                self._cur_event = self.sim.schedule(self._cur_dur, self._compute_done)
+                return
+            if isinstance(op, gops.Pause) and not self.hv.features.ple:
+                # Without pause-loop exiting, spinning is just compute.
+                self._cur_op = gops.Compute(op.cycles, CycleDomain.GUEST_KERNEL)
+                self._cur_start = self.sim.now
+                self._cur_dur = self.clock.cycles_to_ns(op.cycles)
+                self._cur_event = self.sim.schedule(self._cur_dur, self._compute_done)
+                return
+            self._sync_exit(op)
+            return
+        raise HostError(f"{vcpu!r}: guest op stream made no progress")
+
+    def _compute_done(self) -> None:
+        op = self._cur_op
+        self.vcpu.pcpu.account(op.domain, self.sim.now - self._cur_start)
+        self._cur_op = self._cur_event = None
+        if op.on_done is not None:
+            op.on_done()
+        self._next_op()
+
+    def _cancel_cur(self) -> None:
+        """Truncate an in-flight compute: account elapsed, re-queue rest."""
+        if self._cur_op is None:
+            return
+        op = self._cur_op
+        elapsed = self.sim.now - self._cur_start
+        if elapsed > 0:
+            self.vcpu.pcpu.account(op.domain, elapsed)
+        self.sim.cancel(self._cur_event)
+        remaining = self.clock.ns_to_cycles(self._cur_dur - elapsed)
+        if remaining > 0:
+            self.vm.kernel.requeue_front(
+                self.vcpu.index, gops.Compute(remaining, op.domain, op.on_done)
+            )
+        elif op.on_done is not None:
+            # The interrupt landed exactly at completion; finish the op.
+            op.on_done()
+        self._cur_op = self._cur_event = None
+
+    # ------------------------------------------------------------- VM exits
+
+    def _sync_exit(self, op: gops.GuestOp) -> None:
+        """Take a synchronous exit for an intercepted instruction."""
+        c = self.costs
+        if isinstance(op, gops.Wrmsr):
+            if op.index == Msr.TSC_DEADLINE:
+                self._begin_exit(
+                    ExitReason.MSR_WRITE,
+                    ExitTag.TIMER_PROGRAM,
+                    c.handler_msr_tsc_deadline,
+                    lambda: self._apply_deadline(op.value),
+                )
+            elif op.index == Msr.X2APIC_TMICT:
+                # Virtual LAPIC in periodic mode: KVM emulates the
+                # repeating timer host-side (classic periodic ticks, §3.1).
+                self._begin_exit(
+                    ExitReason.MSR_WRITE,
+                    ExitTag.TIMER_PROGRAM,
+                    c.handler_msr_tsc_deadline,
+                    lambda: self._start_virtual_periodic(op.value),
+                )
+            elif op.index == Msr.X2APIC_EOI:
+                self._begin_exit(ExitReason.MSR_WRITE, ExitTag.EOI, c.handler_msr_eoi, None)
+            elif op.index == Msr.X2APIC_ICR:
+                dest, vector = divmod(op.value, 256)
+                self._begin_exit(
+                    ExitReason.MSR_WRITE,
+                    ExitTag.IPI,
+                    c.handler_msr_icr,
+                    lambda: self.hv.send_ipi(self.vm, self.vcpu, dest, Vector(vector)),
+                )
+            else:
+                self._begin_exit(ExitReason.MSR_WRITE, ExitTag.OTHER, c.handler_msr_tsc_deadline, None)
+        elif isinstance(op, gops.Hlt):
+            self._begin_exit(ExitReason.HLT, ExitTag.IDLE, c.handler_hlt, None, then=self._halt)
+        elif isinstance(op, gops.IoKick):
+            self._begin_exit(
+                ExitReason.IO_INSTRUCTION,
+                ExitTag.IO,
+                c.handler_io_kick,
+                lambda: self._submit_io(op),
+            )
+        elif isinstance(op, gops.Hypercall):
+            self._begin_exit(
+                ExitReason.HYPERCALL,
+                ExitTag.HYPERCALL,
+                c.handler_hypercall,
+                lambda: self.vm.handle_hypercall(self.vcpu, op.nr, op.arg),
+            )
+        elif isinstance(op, gops.Pause):
+            self._begin_exit(ExitReason.PAUSE, ExitTag.OTHER, c.handler_pause, None)
+        elif isinstance(op, gops.Fault):
+            self._begin_exit(ExitReason.EPT_VIOLATION, ExitTag.OTHER, c.handler_ept, None)
+        else:
+            raise HostError(f"unknown guest op {op!r}")
+
+    def _begin_exit(self, reason, tag, handler_cycles, effect, then=None) -> None:
+        """Common exit path: stop the clock sources, cost it, continue.
+
+        ``effect`` runs when the handler completes (hypervisor-side state
+        change); ``then`` overrides the default continuation of
+        re-entering the guest.
+        """
+        vcpu = self.vcpu
+        vcpu.state = VcpuState.EXITED
+        self.preempt_timer.stop()
+        self.vm.counters.record(vcpu.index, reason, tag)
+        if self.sim.trace.enabled:
+            self.sim.trace.emit(
+                self.sim.now, f"{self.vm.name}/vcpu{vcpu.index}", "vmexit",
+                (reason.value, tag.value),
+            )
+        c = self.costs
+        exit_hw_ns = self.clock.cycles_to_ns(c.vmexit_hw)
+        handler_ns = self.clock.cycles_to_ns(handler_cycles)
+        self.sim.schedule(
+            exit_hw_ns + handler_ns, self._exit_work_done, exit_hw_ns, handler_ns, effect, then
+        )
+
+    def _exit_work_done(self, exit_hw_ns, handler_ns, effect, then) -> None:
+        pcpu = self.vcpu.pcpu
+        pcpu.account(CycleDomain.VMX_TRANSITION, exit_hw_ns)
+        pcpu.account(CycleDomain.HOST_HANDLER, handler_ns)
+        if effect is not None:
+            effect()
+        if self.vcpu.state is VcpuState.OFF:
+            return
+        if then is not None:
+            then()
+        else:
+            self._enter_guest()
+
+    # -------------------------------------------------------- exit effects
+
+    def _apply_deadline(self, tsc_value: int) -> None:
+        """KVM's TSC_DEADLINE write handler (preemption-timer optimization)."""
+        if tsc_value == 0:
+            self.vcpu.guest_deadline_ns = None
+            self.preempt_timer.clear()
+        else:
+            self.vcpu.guest_deadline_ns = self.hv.tsc.deadline_to_ns(tsc_value)
+
+    def _start_virtual_periodic(self, period_ns: int) -> None:
+        """Guest armed its virtual LAPIC in periodic mode."""
+        if period_ns <= 0:
+            raise HostError(f"{self.vcpu!r}: invalid periodic LAPIC period {period_ns}")
+        if self._periodic_event is not None:
+            self.sim.cancel(self._periodic_event)
+        self._virt_periodic_ns = period_ns
+        self._periodic_event = self.sim.schedule(period_ns, self._virtual_periodic_fire)
+
+    def _virtual_periodic_fire(self) -> None:
+        """One period elapsed: deliver a tick, waking the vCPU if halted."""
+        self._periodic_event = self.sim.schedule(self._virt_periodic_ns, self._virtual_periodic_fire)
+        self.deliver(Vector.LOCAL_TIMER, ExitTag.TIMER_GUEST_TICK)
+
+    def _submit_io(self, op: gops.IoKick) -> None:
+        op.request.cookie = (self.vcpu.index, op.request.cookie)
+        op.device.submit(op.request)
+
+    # ------------------------------------------------------------- halting
+
+    def _halt(self) -> None:
+        """HLT continuation: poll (optionally), then block."""
+        if self.vcpu.pending_irqs:
+            # An interrupt arrived during exit processing: do not block.
+            self._enter_guest()
+            return
+        if self.hv.features.halt_poll_ns > 0:
+            self._polling = True
+            self._poll_start = self.sim.now
+            self._poll_event = self.sim.schedule(self.hv.features.halt_poll_ns, self._poll_timeout)
+            return
+        self._block()
+
+    def _poll_timeout(self) -> None:
+        self._polling = False
+        self._poll_event = None
+        self.vcpu.pcpu.account(CycleDomain.HALT_POLL, self.sim.now - self._poll_start)
+        self._block()
+
+    def _block(self) -> None:
+        vcpu = self.vcpu
+        block_ns = self.clock.cycles_to_ns(self.costs.block_vcpu)
+        vcpu.pcpu.account(CycleDomain.HOST_SCHED, block_ns)
+        vcpu.state = VcpuState.HALTED
+        vcpu.halted_since_ns = self.sim.now
+        self._arm_host_deadline()
+        nxt = self.hv.sched.release(vcpu)
+        if nxt is not None:
+            nxt.exec.dispatch()
+
+    def _arm_host_deadline(self) -> None:
+        """While not in guest mode, a host timer stands in for the
+        preemption timer so guest-programmed deadlines still fire."""
+        deadline = self.vcpu.guest_deadline_ns
+        if deadline is None:
+            return
+        self._host_deadline_event = self.sim.at(
+            max(deadline, self.sim.now), self._host_deadline_fired
+        )
+
+    def _cancel_host_deadline(self) -> None:
+        if self._host_deadline_event is not None:
+            self.sim.cancel(self._host_deadline_event)
+            self._host_deadline_event = None
+
+    def _host_deadline_fired(self) -> None:
+        self._host_deadline_event = None
+        self.vcpu.guest_deadline_ns = None
+        self.preempt_timer.clear()
+        self.deliver(Vector.LOCAL_TIMER, ExitTag.TIMER_GUEST_TICK)
+
+    def dispatch(self) -> None:
+        """The host scheduler gave us the CPU (overcommit path)."""
+        if self.vcpu.state is not VcpuState.READY:
+            raise HostError(f"dispatch of {self.vcpu!r} in state {self.vcpu.state}")
+        self.vcpu.state = VcpuState.EXITED
+        ctx_ns = self.clock.cycles_to_ns(self.costs.ctx_switch)
+        self.vcpu.pcpu.account(CycleDomain.HOST_SCHED, ctx_ns)
+        self.sim.schedule(ctx_ns, self._enter_guest)
+
+    # ----------------------------------------------------- async interrupts
+
+    def deliver(self, vector: Vector, tag: ExitTag, *, cross_socket: bool = False) -> None:
+        """An interrupt for this vCPU arrived (device, IPI or stand-in timer)."""
+        vcpu = self.vcpu
+        state = vcpu.state
+        if state is VcpuState.OFF:
+            return
+        vcpu.post_irq(vector)
+        if state is VcpuState.GUEST:
+            # Forces an external-interrupt exit; injected on re-entry.
+            self._cancel_cur()
+            self._begin_exit(
+                ExitReason.EXTERNAL_INTERRUPT, tag, self.costs.handler_external_interrupt, None
+            )
+        elif state is VcpuState.HALTED:
+            self._wake(cross_socket=cross_socket)
+        elif state is VcpuState.EXITED and self._polling:
+            self._finish_poll_hit()
+        # EXITED (not polling) / READY / INIT: stays pending, injected at
+        # the next VM entry — no additional exit, like a real posted IRR bit.
+
+    def _finish_poll_hit(self) -> None:
+        """Halt polling succeeded: skip the block/wake round trip."""
+        self._polling = False
+        self.sim.cancel(self._poll_event)
+        self._poll_event = None
+        self.vcpu.pcpu.account(CycleDomain.HALT_POLL, self.sim.now - self._poll_start)
+        self._enter_guest()
+
+    def _wake(self, *, cross_socket: bool = False) -> None:
+        vcpu = self.vcpu
+        self._cancel_host_deadline()
+        halted = self.sim.now - vcpu.halted_since_ns
+        vcpu.total_halted_ns += halted
+        vcpu.halt_episodes += 1
+        vcpu.state = VcpuState.EXITED
+        wake_cycles = self.costs.wake_vcpu
+        if cross_socket:
+            wake_cycles = int(wake_cycles * self.hv.machine.spec.cross_socket_penalty)
+        wake_ns = self.clock.cycles_to_ns(wake_cycles)
+        cstate = vcpu.requested_cstate
+        if cstate is not None:
+            # cpuidle model: the deeper the state, the longer the exit.
+            name = cstate.name
+            vcpu.cstate_residency_ns[name] = vcpu.cstate_residency_ns.get(name, 0) + halted
+            wake_ns += cstate.exit_latency_ns
+            vcpu.requested_cstate = None
+        vcpu.pcpu.account(CycleDomain.HOST_SCHED, wake_ns)
+        if self.hv.sched.acquire(vcpu):
+            self.sim.schedule(wake_ns, self._enter_guest)
+        # else: READY, will be dispatched; wake cost already accounted.
+
+    # ------------------------------------------------- timer & host tick
+
+    def _on_preempt_timer(self) -> None:
+        """VMX preemption timer expired in guest mode.
+
+        Either the guest's own deadline passed (§3 — the 'less costly'
+        exit, inject LOCAL_TIMER) or the §4.1 rate-adaptation backstop
+        fired before any guest deadline — then the exit exists purely so
+        the re-entry hook can inject a virtual tick.
+        """
+        vcpu = self.vcpu
+        if vcpu.state is not VcpuState.GUEST:
+            raise HostError("preemption timer fired outside guest mode")
+        self._cancel_cur()
+        gd = vcpu.guest_deadline_ns
+        if gd is not None and self.sim.now >= gd:
+            # The guest's own deadline passed: consume it, inject its
+            # timer interrupt on re-entry.
+            vcpu.guest_deadline_ns = None
+            vcpu.post_irq(Vector.LOCAL_TIMER)
+            self._begin_exit(
+                ExitReason.PREEMPTION_TIMER,
+                ExitTag.TIMER_GUEST_TICK,
+                self.costs.handler_preemption_timer,
+                None,
+            )
+            return
+        # Rate-adaptation backstop: no guest deadline was due; the exit
+        # exists purely so the entry hook can inject a virtual tick.
+        self._begin_exit(
+            ExitReason.PREEMPTION_TIMER,
+            ExitTag.TIMER_HOST_TICK,
+            self.costs.handler_preemption_timer,
+            None,
+        )
+
+    def host_tick_interrupt(self, *, preempt: bool) -> None:
+        """The host scheduler tick fired on our physical CPU."""
+        vcpu = self.vcpu
+        if vcpu.state is VcpuState.GUEST:
+            self._cancel_cur()
+            extra = self.costs.host_tick_handler
+            then = self._preempt_requeue if preempt else None
+            self._begin_exit(
+                ExitReason.EXTERNAL_INTERRUPT,
+                ExitTag.TIMER_HOST_TICK,
+                self.costs.handler_external_interrupt + extra,
+                None,
+                then=then,
+            )
+        else:
+            # Tick arrived while already in root mode: host-side work only,
+            # no VM exit. Runs concurrently with the in-flight exit
+            # processing (approximation: does not stretch the sequence).
+            self.vcpu.pcpu.account(
+                CycleDomain.HOST_TICK, self.clock.cycles_to_ns(self.costs.host_tick_handler)
+            )
+
+    def _preempt_requeue(self) -> None:
+        """Host tick boundary with waiters: rotate this CPU (overcommit)."""
+        vcpu = self.vcpu
+        nxt = self.hv.sched.release(vcpu)
+        self.hv.sched.requeue(vcpu)
+        self._arm_host_deadline()
+        if nxt is not None:
+            nxt.exec.dispatch()

@@ -1,0 +1,116 @@
+"""Block storage devices with class-typical latency models.
+
+Three device classes (paper §4.2 discusses how paratick's benefit scales
+with device speed: "for high latency I/O devices such as HDDs ... the
+potential for improvement is limited", while low-latency devices expose
+the timer-path overhead). Parameters are round numbers from vendor
+datasheets; only their order of magnitude matters to the reproduction.
+
+The paper's testbed explicitly "does not possess a high-end SSD device
+supporting SR-IOV" (§6.3) — the default device for the fio experiments is
+therefore :func:`make_block_device` with ``IoDeviceKind.SATA_SSD``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import IoDeviceKind
+from repro.errors import ConfigError
+from repro.hw.iodev import CompletionFn, IoDevice, IoRequest
+from repro.sim.engine import Simulator
+from repro.sim.timebase import MSEC, USEC
+
+
+@dataclass(frozen=True)
+class BlockProfile:
+    """Latency/bandwidth profile of one device class."""
+
+    #: Fixed per-request latency for reads (controller + media access).
+    read_base_ns: int
+    #: Fixed per-request latency for writes.
+    write_base_ns: int
+    #: Extra latency when the access is non-sequential (seek/rotation).
+    random_penalty_ns: int
+    #: Sustained transfer bandwidth, bytes per second.
+    bandwidth_bps: int
+    #: Relative jitter (sd/mean) applied to the fixed part.
+    jitter: float
+
+    def __post_init__(self) -> None:
+        if min(self.read_base_ns, self.write_base_ns, self.random_penalty_ns) < 0:
+            raise ConfigError("latencies must be non-negative")
+        if self.bandwidth_bps <= 0:
+            raise ConfigError("bandwidth must be positive")
+        if not 0 <= self.jitter < 1:
+            raise ConfigError("jitter must be in [0, 1)")
+
+
+#: Device-class profiles. Values are class-typical datasheet numbers.
+BLOCK_PROFILES: dict[IoDeviceKind, BlockProfile] = {
+    IoDeviceKind.HDD: BlockProfile(
+        read_base_ns=2 * MSEC,
+        write_base_ns=2 * MSEC,
+        random_penalty_ns=6 * MSEC,
+        bandwidth_bps=160_000_000,
+        jitter=0.25,
+    ),
+    IoDeviceKind.SATA_SSD: BlockProfile(
+        read_base_ns=75 * USEC,
+        write_base_ns=190 * USEC,
+        random_penalty_ns=15 * USEC,
+        bandwidth_bps=520_000_000,
+        jitter=0.10,
+    ),
+    IoDeviceKind.NVME_SSD: BlockProfile(
+        read_base_ns=14 * USEC,
+        write_base_ns=18 * USEC,
+        random_penalty_ns=3 * USEC,
+        bandwidth_bps=3_200_000_000,
+        jitter=0.08,
+    ),
+}
+
+
+class BlockDevice(IoDevice):
+    """A block device driven by a :class:`BlockProfile`.
+
+    Sequential detection: a request is sequential when its offset equals
+    the end of the previous request of the same op.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        profile: BlockProfile,
+        complete_fn: CompletionFn,
+        *,
+        name: str = "blk0",
+        rng_stream: str | None = None,
+    ):
+        super().__init__(sim, name, complete_fn)
+        self.profile = profile
+        self._rng_stream = rng_stream if rng_stream is not None else f"blkdev.{name}"
+        self._next_seq_offset: dict[str, int] = {}
+
+    def service_time_ns(self, req: IoRequest) -> int:
+        p = self.profile
+        base = p.read_base_ns if req.op == "read" else p.write_base_ns
+        if self._next_seq_offset.get(req.op) != req.offset:
+            base += p.random_penalty_ns
+        self._next_seq_offset[req.op] = req.offset + req.size
+        transfer = req.size * 1_000_000_000 // p.bandwidth_bps
+        if p.jitter > 0:
+            base = self.sim.rng.normal_ns(self._rng_stream, base, p.jitter * base)
+        return base + transfer
+
+
+def make_block_device(
+    sim: Simulator,
+    kind: IoDeviceKind,
+    complete_fn: CompletionFn,
+    *,
+    name: str = "blk0",
+) -> BlockDevice:
+    """Instantiate a block device of the given class."""
+    return BlockDevice(sim, BLOCK_PROFILES[kind], complete_fn, name=name)

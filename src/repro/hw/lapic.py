@@ -1,0 +1,137 @@
+"""Local APIC timer model.
+
+One LAPIC timer per CPU, supporting the three architectural modes:
+
+* **oneshot** — fire once after a programmed delay;
+* **periodic** — fire repeatedly at a programmed period (the classic
+  periodic scheduler tick of §3.1);
+* **TSC-deadline** — fire when the TSC reaches an absolute count written
+  to ``IA32_TSC_DEADLINE`` (the mode tickless Linux uses, §3).
+
+Expiry calls the delivery callback with the configured vector. Whether
+delivery means "interrupt the host kernel" or "force a VM exit and inject
+into a guest" is decided by whoever owns the timer — the hardware model
+is identical either way.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Optional
+
+from repro.errors import HardwareError
+from repro.hw.interrupts import Vector
+from repro.hw.tsc import Tsc
+from repro.sim.engine import Simulator
+from repro.sim.events import Event
+
+
+#: fn(vector) -> None, called at expiry time.
+DeliveryFn = Callable[[Vector], None]
+
+
+class TimerMode(enum.Enum):
+    ONESHOT = "oneshot"
+    PERIODIC = "periodic"
+    TSC_DEADLINE = "tsc-deadline"
+
+
+class LapicTimer:
+    """A single LAPIC timer instance."""
+
+    __slots__ = ("_sim", "_tsc", "name", "vector", "_deliver", "mode", "_event", "_period_ns", "arm_count", "fire_count")
+
+    def __init__(
+        self,
+        sim: Simulator,
+        tsc: Tsc,
+        deliver: DeliveryFn,
+        *,
+        vector: Vector = Vector.LOCAL_TIMER,
+        name: str = "lapic",
+    ):
+        self._sim = sim
+        self._tsc = tsc
+        self._deliver = deliver
+        self.vector = vector
+        self.name = name
+        self.mode: Optional[TimerMode] = None
+        self._event: Optional[Event] = None
+        self._period_ns = 0
+        #: Programming operations performed (each is an MSR write on real hw).
+        self.arm_count = 0
+        #: Interrupts delivered.
+        self.fire_count = 0
+
+    # ------------------------------------------------------------- queries
+
+    @property
+    def armed(self) -> bool:
+        """True if an expiry is pending."""
+        return self._event is not None and self._event.pending
+
+    @property
+    def expiry_ns(self) -> Optional[int]:
+        """Absolute sim time of the pending expiry, or None."""
+        return self._event.time if self.armed else None  # type: ignore[union-attr]
+
+    # ------------------------------------------------------------- arming
+
+    def arm_oneshot_ns(self, delay_ns: int) -> None:
+        """Program a one-shot expiry ``delay_ns`` from now."""
+        if delay_ns < 0:
+            raise HardwareError(f"{self.name}: negative delay {delay_ns}")
+        self._disarm_event()
+        self.mode = TimerMode.ONESHOT
+        self.arm_count += 1
+        self._event = self._sim.schedule(delay_ns, self._fire)
+
+    def arm_periodic_ns(self, period_ns: int, *, first_after_ns: Optional[int] = None) -> None:
+        """Program periodic expiry every ``period_ns``."""
+        if period_ns <= 0:
+            raise HardwareError(f"{self.name}: period must be positive, got {period_ns}")
+        self._disarm_event()
+        self.mode = TimerMode.PERIODIC
+        self._period_ns = period_ns
+        self.arm_count += 1
+        first = period_ns if first_after_ns is None else first_after_ns
+        self._event = self._sim.schedule(first, self._fire)
+
+    def arm_tsc_deadline(self, tsc_deadline: int) -> None:
+        """Program expiry at an absolute TSC count (deadline mode).
+
+        Writing 0 disarms the timer, exactly like the real MSR.
+        """
+        self._disarm_event()
+        if tsc_deadline == 0:
+            self.mode = None
+            self.arm_count += 1  # the disarming write is still a write
+            return
+        self.mode = TimerMode.TSC_DEADLINE
+        self.arm_count += 1
+        when = self._tsc.deadline_to_ns(tsc_deadline)
+        self._event = self._sim.at(when, self._fire)
+
+    def disarm(self) -> None:
+        """Cancel any pending expiry."""
+        self._disarm_event()
+        self.mode = None
+
+    def _disarm_event(self) -> None:
+        if self._event is not None:
+            self._sim.cancel(self._event)
+            self._event = None
+
+    # -------------------------------------------------------------- expiry
+
+    def _fire(self) -> None:
+        self.fire_count += 1
+        if self.mode is TimerMode.PERIODIC:
+            # Re-arm before delivery so the handler observes a live timer
+            # (periodic mode needs no reprogramming — that is exactly why
+            # classic ticks cost only the delivery, not an extra write).
+            self._event = self._sim.schedule(self._period_ns, self._fire)
+        else:
+            self._event = None
+            self.mode = None
+        self._deliver(self.vector)

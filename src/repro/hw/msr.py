@@ -1,0 +1,69 @@
+"""Model-specific registers relevant to the timer path.
+
+Only the registers the mechanism touches are modelled. What matters for
+the reproduction is *which writes are intercepted*: in a virtualized
+environment every guest write to ``IA32_TSC_DEADLINE`` (and to the x2APIC
+ICR, for IPIs) traps to the hypervisor — that trap is the VM exit the
+paper sets out to eliminate.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable
+
+from repro.errors import HardwareError
+
+
+class Msr(enum.IntEnum):
+    """MSR indices (values match the x86 architectural numbers)."""
+
+    #: IA32_TSC_DEADLINE — arms the LAPIC timer in TSC-deadline mode.
+    TSC_DEADLINE = 0x6E0
+    #: x2APIC Interrupt Command Register — sending an IPI writes here.
+    X2APIC_ICR = 0x830
+    #: x2APIC End-Of-Interrupt register — written after every handled
+    #: interrupt; trapped unless the host virtualizes EOI (APICv).
+    X2APIC_EOI = 0x80B
+    #: x2APIC LVT timer register (mode configuration).
+    X2APIC_LVT_TIMER = 0x832
+    #: x2APIC initial-count register (oneshot/periodic mode arming).
+    X2APIC_TMICT = 0x838
+
+
+#: Handler invoked on a write: fn(index, value) -> None.
+WriteHook = Callable[[int, int], None]
+
+
+class MsrFile:
+    """A CPU's MSR state with optional per-register write hooks.
+
+    The hypervisor installs hooks on the intercepted registers; the
+    hook abstraction is also how the native (non-virtualized) LAPIC
+    wires ``TSC_DEADLINE`` writes to its timer model.
+    """
+
+    __slots__ = ("_values", "_write_hooks")
+
+    def __init__(self) -> None:
+        self._values: dict[int, int] = {}
+        self._write_hooks: dict[int, WriteHook] = {}
+
+    def install_write_hook(self, index: int, hook: WriteHook) -> None:
+        """Register ``hook`` to run on every write to MSR ``index``."""
+        if index in self._write_hooks:
+            raise HardwareError(f"write hook already installed for MSR {index:#x}")
+        self._write_hooks[index] = hook
+
+    def write(self, index: int, value: int) -> None:
+        """WRMSR: store the value and fire the hook, if any."""
+        if value < 0:
+            raise HardwareError(f"MSR {index:#x}: negative value {value}")
+        self._values[index] = value
+        hook = self._write_hooks.get(index)
+        if hook is not None:
+            hook(index, value)
+
+    def read(self, index: int) -> int:
+        """RDMSR: last written value, or 0 (reset state)."""
+        return self._values.get(index, 0)

@@ -1,0 +1,70 @@
+"""ASCII bar charts for the paper's figures.
+
+Figures 4–6 are grouped bar charts of per-benchmark relative metrics.
+This renderer draws them in plain text so the figures can be regenerated
+in any terminal, with no plotting dependency:
+
+    blackscholes  -63% |############                |
+    dedup         -43% |########                    |
+
+Bars are scaled to the largest magnitude in the series; negative values
+(improvements, for the exits/exec-time panels) and positive values
+(throughput panel) are handled symmetrically.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import ReproError
+from repro.metrics.report import Comparison
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    title: str = "",
+    width: int = 40,
+    fmt: str = "{:+.1%}",
+) -> str:
+    """Render one metric series as a horizontal bar chart."""
+    if len(labels) != len(values):
+        raise ReproError("labels and values must align")
+    if not labels:
+        raise ReproError("empty chart")
+    if width < 4:
+        raise ReproError("width too small")
+    peak = max(abs(v) for v in values) or 1.0
+    label_w = max(len(l) for l in labels)
+    value_strs = [fmt.format(v) for v in values]
+    value_w = max(len(s) for s in value_strs)
+    lines = [title] if title else []
+    for label, value, vs in zip(labels, values, value_strs):
+        filled = round(abs(value) / peak * width)
+        bar = "#" * filled + " " * (width - filled)
+        lines.append(f"{label:<{label_w}}  {vs:>{value_w}} |{bar}|")
+    return "\n".join(lines)
+
+
+def comparison_panels(
+    comparisons: Iterable[Comparison],
+    *,
+    metric_titles: tuple[str, str, str] = (
+        "(a) VM exits",
+        "(b) system throughput",
+        "(c) execution time",
+    ),
+    width: int = 40,
+) -> str:
+    """The three panels of a Fig. 4/5/6-style figure, stacked."""
+    comps = list(comparisons)
+    if not comps:
+        raise ReproError("nothing to chart")
+    labels = [c.label for c in comps]
+    panels = [
+        bar_chart(labels, [c.vm_exits for c in comps], title=metric_titles[0], width=width),
+        bar_chart(labels, [c.throughput for c in comps], title=metric_titles[1], width=width),
+        bar_chart(labels, [c.exec_time for c in comps], title=metric_titles[2], width=width),
+    ]
+    return "\n\n".join(panels)

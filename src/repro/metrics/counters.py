@@ -1,0 +1,81 @@
+"""VM-exit counters.
+
+Counts exits per ``(reason, tag)`` pair and per vCPU — the raw material
+for the paper's "VM exits" metric and for the trace-level assertions in
+the integration tests ("tickless idle entry produces exactly one
+TIMER_PROGRAM exit; paratick produces none unless a wake timer differs").
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.host.exitreasons import TIMER_TAGS, ExitReason, ExitTag
+
+
+@dataclass(frozen=True)
+class ExitRecordKey:
+    """Classification key of one exit."""
+
+    reason: ExitReason
+    tag: ExitTag
+
+
+class ExitCounters:
+    """Per-VM exit counters, also split per vCPU."""
+
+    def __init__(self) -> None:
+        self._by_key: Counter[ExitRecordKey] = Counter()
+        self._by_vcpu: Counter[int] = Counter()
+
+    def record(self, vcpu_index: int, reason: ExitReason, tag: ExitTag) -> None:
+        """Record one exit."""
+        self._by_key[ExitRecordKey(reason, tag)] += 1
+        self._by_vcpu[vcpu_index] += 1
+
+    # --------------------------------------------------------------- totals
+
+    @property
+    def total(self) -> int:
+        """All exits."""
+        return sum(self._by_key.values())
+
+    def by_reason(self, reason: ExitReason) -> int:
+        return sum(c for k, c in self._by_key.items() if k.reason is reason)
+
+    def by_tag(self, tag: ExitTag) -> int:
+        return sum(c for k, c in self._by_key.items() if k.tag is tag)
+
+    def by_tags(self, tags: Iterable[ExitTag]) -> int:
+        wanted = frozenset(tags)
+        return sum(c for k, c in self._by_key.items() if k.tag in wanted)
+
+    @property
+    def timer_related(self) -> int:
+        """Exits caused by scheduler-tick management (the paper's target)."""
+        return self.by_tags(TIMER_TAGS)
+
+    def for_vcpu(self, vcpu_index: int) -> int:
+        return self._by_vcpu[vcpu_index]
+
+    def breakdown(self) -> dict[ExitRecordKey, int]:
+        """Copy of the full (reason, tag) -> count table."""
+        return dict(self._by_key)
+
+    def tag_breakdown(self) -> dict[ExitTag, int]:
+        out: dict[ExitTag, int] = {}
+        for k, c in self._by_key.items():
+            out[k.tag] = out.get(k.tag, 0) + c
+        return out
+
+    def merge(self, other: "ExitCounters") -> "ExitCounters":
+        """Sum of two counter sets (used to aggregate multi-VM scenarios)."""
+        out = ExitCounters()
+        out._by_key = self._by_key + other._by_key
+        out._by_vcpu = self._by_vcpu + other._by_vcpu
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ExitCounters total={self.total} timer={self.timer_related}>"

@@ -1,0 +1,85 @@
+"""A first-order CPU energy model (extension).
+
+Supports two claims the paper makes but does not measure:
+
+* §2 (citing [12]): classic periodic ticks can dominate the energy of
+  idle systems;
+* §6.2: paratick's throughput improvement "reduces energy consumption".
+
+Model: each vCPU's core draws ``active_power_w`` while busy, the
+resident C-state's fraction of it while halted (requires the cpuidle
+model, ``VmSpec.cpuidle=True``), and the shallow-idle fraction for any
+remaining un-attributed idle time. First-order and relative — the units
+only matter as ratios between runs, like every other metric here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.guest.cpuidle import C1, C_STATES
+from repro.metrics.perf import RunMetrics
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-core power parameters."""
+
+    #: Core power while executing, watts.
+    active_power_w: float = 10.0
+    #: Power fraction for idle time not attributed to any C-state
+    #: (cpuidle model off, or time outside recorded halts).
+    default_idle_fraction: float = C1.power_fraction
+
+    def __post_init__(self) -> None:
+        if self.active_power_w <= 0:
+            raise ConfigError("active power must be positive")
+        if not 0.0 <= self.default_idle_fraction <= 1.0:
+            raise ConfigError("idle fraction must be in [0,1]")
+
+
+@dataclass(frozen=True)
+class EnergyEstimate:
+    """Joules over the run, split by where they went."""
+
+    active_j: float
+    cstate_j: float
+    idle_j: float
+
+    @property
+    def total_j(self) -> float:
+        return self.active_j + self.cstate_j + self.idle_j
+
+
+def estimate_energy(
+    metrics: RunMetrics,
+    *,
+    model: EnergyModel = EnergyModel(),
+    clock_hz: int = 2_200_000_000,
+) -> EnergyEstimate:
+    """Energy for the vCPU cores of one run.
+
+    Active time is derived from the cycle total; C-state residencies
+    come from the run's extras (populated when ``cpuidle`` was on);
+    everything else over ``vcpus x exec_time`` is shallow idle.
+    """
+    ncores = int(metrics.extra.get("vcpus", 1))
+    span_ns = metrics.exec_time_ns * ncores
+    active_ns = metrics.total_cycles * 1_000_000_000 / clock_hz
+    active_ns = min(active_ns, span_ns)
+    fractions = {s.name: s.power_fraction for s in C_STATES}
+    cstate_j = 0.0
+    attributed_ns = 0.0
+    for key, value in metrics.extra.items():
+        if key.startswith("cstate_") and key.endswith("_ns"):
+            name = key[len("cstate_"):-len("_ns")]
+            frac = fractions.get(name, model.default_idle_fraction)
+            cstate_j += value * 1e-9 * model.active_power_w * frac
+            attributed_ns += value
+    idle_ns = max(span_ns - active_ns - attributed_ns, 0.0)
+    return EnergyEstimate(
+        active_j=active_ns * 1e-9 * model.active_power_w,
+        cstate_j=cstate_j,
+        idle_j=idle_ns * 1e-9 * model.active_power_w * model.default_idle_fraction,
+    )

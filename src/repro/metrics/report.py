@@ -1,0 +1,76 @@
+"""Paratick-vs-baseline comparisons and plain-text tables.
+
+The paper reports three relative quantities per workload (Figs. 4–6):
+the change in VM exits, in system throughput and in execution time,
+paratick relative to vanilla (tickless) Linux. :func:`compare_runs`
+computes them with the paper's sign conventions:
+
+* VM exits: negative is better ("−50 %" = half the exits);
+* throughput: positive is better ("+7 %" = 7 % more work per cycle,
+  computed from the cycle reduction for the same work);
+* execution time: negative is better ("−2 %" = 2 % faster).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import ReproError
+from repro.metrics.perf import RunMetrics
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Relative performance of a candidate run vs a baseline run."""
+
+    label: str
+    #: (candidate / baseline − 1) of total VM exits. Negative = fewer.
+    vm_exits: float
+    #: (baseline_cycles / candidate_cycles − 1). Positive = more
+    #: throughput per cycle (the paper's "system throughput" axis).
+    throughput: float
+    #: (candidate / baseline − 1) of execution time. Negative = faster.
+    exec_time: float
+
+    def row(self) -> tuple[str, str, str, str]:
+        return (
+            self.label,
+            f"{self.vm_exits:+.1%}",
+            f"{self.throughput:+.1%}",
+            f"{self.exec_time:+.1%}",
+        )
+
+
+def compare_runs(baseline: RunMetrics, candidate: RunMetrics, label: str = "") -> Comparison:
+    """Compare a candidate (paratick) run against a baseline (tickless)."""
+    if baseline.total_exits == 0 or baseline.total_cycles == 0 or baseline.exec_time_ns == 0:
+        raise ReproError(f"degenerate baseline run {baseline.label!r}")
+    if candidate.total_cycles == 0:
+        raise ReproError(f"degenerate candidate run {candidate.label!r}")
+    return Comparison(
+        label=label or candidate.label,
+        vm_exits=candidate.total_exits / baseline.total_exits - 1.0,
+        throughput=baseline.total_cycles / candidate.total_cycles - 1.0,
+        exec_time=candidate.exec_time_ns / baseline.exec_time_ns - 1.0,
+    )
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[str]], *, title: str = "") -> str:
+    """Render an aligned plain-text table (the benches print these)."""
+    rows = [tuple(str(c) for c in r) for r in rows]
+    widths = [len(h) for h in headers]
+    for r in rows:
+        if len(r) != len(headers):
+            raise ReproError(f"row {r!r} does not match headers {headers!r}")
+        for i, c in enumerate(r):
+            widths[i] = max(widths[i], len(c))
+    lines = []
+    if title:
+        lines.append(title)
+    fmt = "  ".join(f"{{:<{w}}}" for w in widths)
+    lines.append(fmt.format(*headers))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rows:
+        lines.append(fmt.format(*r))
+    return "\n".join(lines)

@@ -1,0 +1,130 @@
+"""Event objects and the pending-event priority queue.
+
+The queue is a binary heap keyed on ``(time, seq)``: ties at the same
+instant fire in scheduling order, which keeps runs deterministic. Events
+are cancelled lazily — cancellation just flips a flag, and the heap pop
+discards dead entries — so ``cancel`` is O(1) and the common
+arm/cancel/re-arm pattern of timer hardware stays cheap.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+
+
+class Event:
+    """A scheduled callback.
+
+    Instances are created by :meth:`repro.sim.engine.Simulator.at` /
+    ``schedule`` and should be treated as opaque handles; the only public
+    operations are :meth:`cancel` and the read-only properties.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "_cancelled", "_fired")
+
+    def __init__(self, time: int, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self._cancelled = False
+        self._fired = False
+
+    @property
+    def cancelled(self) -> bool:
+        """True if :meth:`cancel` was called before the event fired."""
+        return self._cancelled
+
+    @property
+    def fired(self) -> bool:
+        """True once the callback has run."""
+        return self._fired
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is still waiting to fire."""
+        return not (self._cancelled or self._fired)
+
+    def cancel(self) -> None:
+        """Prevent the callback from running. Idempotent.
+
+        Cancelling an event that already fired is a no-op (matching how
+        hardware timer disarm races with expiry: the losing side simply
+        has no effect).
+        """
+        self._cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self._cancelled else ("fired" if self._fired else "pending")
+        name = getattr(self.fn, "__qualname__", repr(self.fn))
+        return f"<Event t={self.time} #{self.seq} {name} {state}>"
+
+
+class EventQueue:
+    """Min-heap of :class:`Event` with lazy deletion.
+
+    Heap entries are ``(time, seq, event)`` tuples: the unique ``seq``
+    guarantees tuple comparison never reaches the event object, so
+    ordering uses native tuple compare instead of a Python-level
+    ``__lt__`` call — the single hottest operation in large simulations.
+
+    Exposed separately from the engine so property tests can exercise the
+    ordering invariants in isolation.
+    """
+
+    __slots__ = ("_heap", "_seq", "_live")
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int, Event]] = []
+        self._seq = 0
+        self._live = 0
+
+    def __len__(self) -> int:
+        """Number of *live* (non-cancelled, unfired) events."""
+        return self._live
+
+    def push(self, time: int, fn: Callable[..., Any], args: tuple = ()) -> Event:
+        """Enqueue a callback at absolute time ``time`` and return its handle."""
+        ev = Event(time, self._seq, fn, args)
+        heapq.heappush(self._heap, (time, self._seq, ev))
+        self._seq += 1
+        self._live += 1
+        return ev
+
+    def notify_cancelled(self) -> None:
+        """Bookkeeping hook: the engine calls this when it cancels an event."""
+        if self._live <= 0:
+            raise SimulationError("cancelled more events than were live")
+        self._live -= 1
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest live event, or None if empty.
+
+        Dead (cancelled) heap entries encountered on the way are dropped.
+        """
+        heap = self._heap
+        while heap:
+            ev = heapq.heappop(heap)[2]
+            if ev._cancelled:
+                continue
+            self._live -= 1
+            return ev
+        return None
+
+    def peek_time(self) -> Optional[int]:
+        """Firing time of the earliest live event, without removing it."""
+        heap = self._heap
+        while heap and heap[0][2]._cancelled:
+            heapq.heappop(heap)
+        return heap[0][0] if heap else None
+
+    def compact(self) -> None:
+        """Drop cancelled entries eagerly (useful for long-lived queues)."""
+        self._heap = [entry for entry in self._heap if not entry[2]._cancelled]
+        heapq.heapify(self._heap)

@@ -1,0 +1,208 @@
+"""Generator-based processes on top of the event engine.
+
+Long-running behaviours (guest tasks, device firmware, noise daemons) are
+written as Python generators that ``yield`` commands:
+
+* ``Delay(ns)`` — resume after a fixed simulated delay;
+* ``WaitSignal(signal)`` — park until the signal fires; the fired value
+  becomes the result of the ``yield`` expression.
+
+The scheduler is trampoline-style: resuming a process runs it until its
+next yield, entirely within the current event callback, so processes add
+no per-step heap allocation beyond the command objects themselves.
+
+This layer is intentionally *not* used for the vCPU/exit machinery (which
+is an explicit state machine in :mod:`repro.host.kvm`) — only for
+behaviours that read naturally as sequential scripts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+class Delay:
+    """Process command: sleep for ``ns`` simulated nanoseconds."""
+
+    __slots__ = ("ns",)
+
+    def __init__(self, ns: int):
+        if ns < 0:
+            raise SimulationError(f"negative delay: {ns}")
+        self.ns = ns
+
+
+class Signal:
+    """A broadcast wake-up point with an attached value.
+
+    Multiple processes may wait on the same signal; ``fire`` resumes all
+    of them (in wait order). Signals are reusable: each ``fire`` wakes the
+    waiters registered since the previous fire.
+    """
+
+    __slots__ = ("name", "_waiters", "fire_count")
+
+    def __init__(self, name: str = "signal"):
+        self.name = name
+        self._waiters: list[Process] = []
+        self.fire_count = 0
+
+    @property
+    def waiter_count(self) -> int:
+        return len(self._waiters)
+
+    def _add_waiter(self, proc: "Process") -> None:
+        self._waiters.append(proc)
+
+    def _remove_waiter(self, proc: "Process") -> None:
+        try:
+            self._waiters.remove(proc)
+        except ValueError:
+            pass
+
+    def fire(self, value: Any = None) -> int:
+        """Wake all current waiters with ``value``; returns how many woke."""
+        self.fire_count += 1
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            proc._resume(value)
+        return len(waiters)
+
+
+class WaitSignal:
+    """Process command: park until ``signal`` fires.
+
+    An optional ``timeout_ns`` bounds the wait; on timeout the yield
+    returns :data:`TIMED_OUT`.
+    """
+
+    __slots__ = ("signal", "timeout_ns")
+
+    def __init__(self, signal: Signal, timeout_ns: Optional[int] = None):
+        if timeout_ns is not None and timeout_ns < 0:
+            raise SimulationError(f"negative timeout: {timeout_ns}")
+        self.signal = signal
+        self.timeout_ns = timeout_ns
+
+
+class _TimedOut:
+    def __repr__(self) -> str:
+        return "TIMED_OUT"
+
+
+#: Sentinel returned by a WaitSignal yield whose timeout elapsed.
+TIMED_OUT = _TimedOut()
+
+
+class Process:
+    """A running generator attached to a simulator.
+
+    Create via :func:`spawn`. The ``done_signal`` fires with the
+    generator's return value when it finishes.
+    """
+
+    __slots__ = ("sim", "name", "_gen", "_pending_event", "_waiting_on", "done_signal", "finished", "result")
+
+    def __init__(self, sim: Simulator, gen: Generator, name: str):
+        self.sim = sim
+        self.name = name
+        self._gen = gen
+        self._pending_event = None
+        self._waiting_on: Optional[Signal] = None
+        self.done_signal = Signal(f"{name}.done")
+        self.finished = False
+        self.result: Any = None
+
+    # ------------------------------------------------------------- lifecycle
+
+    def _start(self) -> None:
+        # First advance happens via a zero-delay event so that spawn()
+        # returns before any of the process body runs — creation order
+        # therefore never depends on body side effects.
+        self._pending_event = self.sim.schedule(0, self._resume, None)
+
+    def _resume(self, value: Any) -> None:
+        if self.finished:
+            return
+        self._pending_event = None
+        self._waiting_on = None
+        try:
+            cmd = self._gen.send(value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        self._dispatch(cmd)
+
+    def _dispatch(self, cmd: Any) -> None:
+        if isinstance(cmd, Delay):
+            self._pending_event = self.sim.schedule(cmd.ns, self._resume, None)
+        elif isinstance(cmd, WaitSignal):
+            self._waiting_on = cmd.signal
+            cmd.signal._add_waiter(self)
+            if cmd.timeout_ns is not None:
+                self._pending_event = self.sim.schedule(cmd.timeout_ns, self._timeout, cmd.signal)
+        elif isinstance(cmd, Signal):
+            # Yielding a bare signal is shorthand for WaitSignal(signal).
+            self._waiting_on = cmd
+            cmd._add_waiter(self)
+        else:
+            self.kill()
+            raise SimulationError(f"process {self.name!r} yielded unknown command {cmd!r}")
+
+    def _timeout(self, signal: Signal) -> None:
+        if self._waiting_on is signal:
+            signal._remove_waiter(self)
+            self._waiting_on = None
+            self._resume(TIMED_OUT)
+
+    def _finish(self, result: Any) -> None:
+        self.finished = True
+        self.result = result
+        self.done_signal.fire(result)
+
+    def kill(self) -> None:
+        """Terminate the process without running further body code."""
+        if self.finished:
+            return
+        if self._waiting_on is not None:
+            self._waiting_on._remove_waiter(self)
+            self._waiting_on = None
+        self.sim.cancel(self._pending_event)
+        self._pending_event = None
+        self._gen.close()
+        self._finish(None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "finished" if self.finished else ("waiting" if self._waiting_on else "running")
+        return f"<Process {self.name} {state}>"
+
+
+def spawn(sim: Simulator, gen: Generator, name: str = "proc") -> Process:
+    """Attach generator ``gen`` to ``sim`` and start it at the next instant."""
+    proc = Process(sim, gen, name)
+    proc._start()
+    return proc
+
+
+def every(
+    sim: Simulator,
+    period_ns: int,
+    fn: Callable[[], Any],
+    *,
+    start_after_ns: Optional[int] = None,
+    name: str = "periodic",
+) -> Process:
+    """Spawn a process that calls ``fn()`` every ``period_ns`` forever."""
+    if period_ns <= 0:
+        raise SimulationError(f"period must be positive, got {period_ns}")
+
+    def body() -> Generator:
+        yield Delay(period_ns if start_after_ns is None else start_after_ns)
+        while True:
+            fn()
+            yield Delay(period_ns)
+
+    return spawn(sim, body(), name)

@@ -1,0 +1,58 @@
+"""Workload abstraction.
+
+A :class:`Workload` knows how to populate a guest kernel with tasks and
+declares what it needs from the scenario (vCPU count, a block device).
+The experiment runner builds the stack, calls :meth:`Workload.build`,
+runs until the main tasks finish (or a horizon), and collects metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.config import IoDeviceKind
+from repro.errors import WorkloadError
+from repro.guest.kernel import GuestKernel
+from repro.guest.task import Task
+
+
+class Workload:
+    """Base class for workload models."""
+
+    #: Workload identifier used in labels.
+    name: str = "workload"
+    #: Block device class the workload needs, or None.
+    io_device: Optional[IoDeviceKind] = None
+    #: NIC profile the workload needs, or None (set by network workloads).
+    nic_profile = None
+
+    def default_vcpus(self) -> int:
+        return 1
+
+    def build(self, kernel: GuestKernel) -> list[Task]:
+        """Create tasks on ``kernel``; return the *main* tasks whose
+        completion defines execution time."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return self.name
+
+
+@dataclass
+class WorkloadResult:
+    """Completion bookkeeping the runner attaches to a run."""
+
+    main_tasks: list[Task] = field(default_factory=list)
+    finished: int = 0
+    #: Simulated completion time of the last main task (ns), if all done.
+    completed_at_ns: Optional[int] = None
+
+    @property
+    def all_done(self) -> bool:
+        return self.finished == len(self.main_tasks) and self.main_tasks
+
+    def check_complete(self) -> None:
+        if not self.all_done:
+            missing = [t.name for t in self.main_tasks if t.finished_ns is None]
+            raise WorkloadError(f"workload did not finish; still running: {missing[:5]}")

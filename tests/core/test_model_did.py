@@ -1,0 +1,142 @@
+"""Tests for the §3 analytical models and the DID comparison model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.did import crossover_cpus, estimate_did
+from repro.core.model import (
+    FORMULA_CONVENTION,
+    TABLE1_CONVENTION,
+    TABLE1_PAPER,
+    VmLoadModel,
+    crossover_idle_period_ns,
+    paratick_exits,
+    periodic_exits,
+    table1_row,
+    table1_workloads,
+    tickless_exits,
+    tickless_exits_from_idle_period,
+)
+from repro.errors import ConfigError
+from repro.sim.timebase import MSEC
+
+
+class TestTable1:
+    @pytest.mark.parametrize("name", list(TABLE1_PAPER))
+    def test_reproduces_printed_values(self, name):
+        assert table1_row(name) == TABLE1_PAPER[name]
+
+    def test_formula_convention_doubles_periodic(self):
+        vms = table1_workloads()["W1"]
+        assert periodic_exits(vms, 10, FORMULA_CONVENTION) == 2 * periodic_exits(
+            vms, 10, TABLE1_CONVENTION
+        )
+
+    def test_w2_is_four_w1(self):
+        w = table1_workloads()
+        assert periodic_exits(w["W2"], 10) == 4 * periodic_exits(w["W1"], 10)
+        assert tickless_exits(w["W4"], 10) == 4 * tickless_exits(w["W3"], 10)
+
+
+class TestFormulas:
+    def test_periodic_independent_of_load(self):
+        lo = VmLoadModel(vcpus=8, tick_hz=250, load=0.0)
+        hi = VmLoadModel(vcpus=8, tick_hz=250, load=1.0)
+        assert periodic_exits([lo], 1) == periodic_exits([hi], 1)
+
+    def test_tickless_scales_with_load_and_transitions(self):
+        quiet = VmLoadModel(vcpus=8, tick_hz=250, load=0.1, idle_transitions_hz=10)
+        busy = VmLoadModel(vcpus=8, tick_hz=250, load=0.9, idle_transitions_hz=10)
+        churn = VmLoadModel(vcpus=8, tick_hz=250, load=0.1, idle_transitions_hz=10_000)
+        assert tickless_exits([busy], 1) > tickless_exits([quiet], 1)
+        assert tickless_exits([churn], 1) > tickless_exits([quiet], 1)
+
+    def test_idle_tickless_is_zero(self):
+        idle = VmLoadModel(vcpus=16, tick_hz=250, load=0.0, idle_transitions_hz=0.0)
+        assert tickless_exits([idle], 10) == 0
+
+    def test_paratick_below_tickless(self):
+        """§4.2: 'guaranteed to never induce more timer-related VM exits
+        than tickless kernels' — holds in the closed form too."""
+        m = VmLoadModel(vcpus=16, tick_hz=250, load=0.8, idle_transitions_hz=5_000)
+        assert paratick_exits([m], 10) < tickless_exits([m], 10)
+
+    @given(
+        load=st.floats(min_value=0, max_value=1),
+        trans=st.floats(min_value=0, max_value=50_000),
+        vcpus=st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=60)
+    def test_property_paratick_never_worse(self, load, trans, vcpus):
+        m = VmLoadModel(vcpus=vcpus, tick_hz=250, load=load, idle_transitions_hz=trans)
+        assert paratick_exits([m], 10) <= tickless_exits([m], 10, TABLE1_CONVENTION)
+
+    def test_t_idle_form_matches_transition_form(self):
+        """The T_idle parameterization equals the transition-rate one
+        when T_idle = (1-L)·n / rate."""
+        m = VmLoadModel(vcpus=4, tick_hz=250, load=0.5, idle_transitions_hz=1000)
+        t_idle = (1 - m.load) * m.vcpus / m.idle_transitions_hz
+        a = tickless_exits([m], 10)
+        b = tickless_exits_from_idle_period([m], 10, t_idle)
+        assert a == pytest.approx(b)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            VmLoadModel(vcpus=0, tick_hz=250, load=0.5)
+        with pytest.raises(ConfigError):
+            VmLoadModel(vcpus=1, tick_hz=250, load=1.5)
+        with pytest.raises(ConfigError):
+            paratick_exits([VmLoadModel(vcpus=1, tick_hz=250, load=0.5)], 1, arm_fraction=2.0)
+
+
+class TestCrossover:
+    def test_crossover_formula(self):
+        """§3.3: T_idle* = tick period / sharing ratio."""
+        assert crossover_idle_period_ns(4 * MSEC, 1.0) == 4 * MSEC
+        assert crossover_idle_period_ns(4 * MSEC, 4.0) == 1 * MSEC
+
+    def test_crossover_validation(self):
+        with pytest.raises(ConfigError):
+            crossover_idle_period_ns(0, 1.0)
+
+
+class TestDid:
+    def make_pair(self):
+        from repro.host.exitreasons import ExitReason, ExitTag
+        from repro.metrics.counters import ExitCounters
+        from repro.metrics.perf import RunMetrics
+
+        def mk(total, host_ticks, cycles):
+            c = ExitCounters()
+            for _ in range(host_ticks):
+                c.record(0, ExitReason.EXTERNAL_INTERRUPT, ExitTag.TIMER_HOST_TICK)
+            for _ in range(total - host_ticks):
+                c.record(0, ExitReason.HLT, ExitTag.IDLE)
+            return RunMetrics("x", 10**9, cycles, cycles // 2, cycles // 10, c)
+
+        base = mk(10_000, 250, 10**9)
+        para = mk(6_000, 250, 95 * 10**7)
+        return base, para
+
+    def test_did_removes_more_exits_than_paratick(self):
+        base, para = self.make_pair()
+        est = estimate_did(base, para, machine_cpus=16, exit_cost_cycles=60_000, clock_hz=2_200_000_000)
+        assert est.vm_exits < para.total_exits / base.total_exits - 1
+
+    def test_core_loss_reduces_net(self):
+        base, para = self.make_pair()
+        small = estimate_did(base, para, machine_cpus=4, exit_cost_cycles=60_000, clock_hz=2_200_000_000)
+        big = estimate_did(base, para, machine_cpus=80, exit_cost_cycles=60_000, clock_hz=2_200_000_000)
+        assert big.throughput > small.throughput
+        assert small.throughput < small.throughput_without_core_loss
+
+    def test_crossover_cpus(self):
+        assert crossover_cpus(0.10) == pytest.approx(11.0)
+        assert crossover_cpus(0.0) == float("inf")
+
+    def test_needs_two_cpus(self):
+        base, para = self.make_pair()
+        with pytest.raises(ConfigError):
+            estimate_did(base, para, machine_cpus=1, exit_cost_cycles=1, clock_hz=1)

@@ -1,0 +1,108 @@
+"""Tests for CSV export and the overcommit scenarios."""
+
+from __future__ import annotations
+
+import csv
+
+import pytest
+
+from repro.config import TickMode
+from repro.errors import ConfigError
+from repro.experiments.export import comparisons_to_csv, export_fig6, write_csv
+from repro.experiments.overcommit import compare_modes, run_idle_overcommit
+from repro.metrics.report import Comparison
+from repro.sim.timebase import SEC
+
+
+class TestCsvExport:
+    def test_csv_roundtrip(self):
+        comps = [Comparison("a", -0.5, 0.1, -0.02), Comparison("b", -0.3, 0.2, -0.01)]
+        text = comparisons_to_csv(comps)
+        rows = list(csv.reader(text.splitlines()))
+        assert rows[0] == ["label", "vm_exits", "throughput", "exec_time"]
+        assert rows[1][0] == "a"
+        assert float(rows[1][1]) == pytest.approx(-0.5)
+        assert len(rows) == 3
+
+    def test_write_csv_creates_dirs(self, tmp_path):
+        p = write_csv(tmp_path / "nested" / "out.csv", [Comparison("x", 0, 0, 0)])
+        assert p.exists()
+        assert "label" in p.read_text()
+
+    def test_export_fig4_headers(self, tmp_path):
+        from repro.experiments.export import export_fig4
+
+        p = export_fig4(tmp_path, target_cycles=20_000_000)
+        rows = list(csv.reader(p.read_text().splitlines()))
+        assert len(rows) == 15  # 13 benchmarks + aggregate + header
+        assert rows[0] == ["label", "vm_exits", "throughput", "exec_time"]
+
+    def test_export_fig5_small_only(self, tmp_path):
+        from repro.experiments.export import export_fig5
+
+        paths = export_fig5(tmp_path, sizes=("small",), target_cycles=20_000_000)
+        assert len(paths) == 1
+        assert "small" in paths[0].name
+        assert len(paths[0].read_text().splitlines()) == 15
+
+    def test_export_fig6_writes_five_rows(self, tmp_path):
+        p = export_fig6(tmp_path, total_bytes=1 << 20)
+        rows = list(csv.reader(p.read_text().splitlines()))
+        # 4 categories + 1 aggregate + header
+        assert len(rows) == 6
+        assert rows[0][1] == "vm_exits" and rows[0][2] == "io_throughput"
+        labels = [r[0] for r in rows[1:]]
+        assert set(labels[:4]) == {"seqr", "seqwr", "rndr", "rndwr"}
+
+
+class TestOvercommit:
+    def test_periodic_idle_overcommit_is_expensive(self):
+        """W2 regime: periodic ticks cost exits and busy time even for
+        fully idle guests; tickless/paratick stay quiet (§3.1)."""
+        out = compare_modes(vms=2, vcpus_per_vm=4, pcpus=2, duration_ns=SEC // 2)
+        periodic = out[TickMode.PERIODIC]
+        tickless = out[TickMode.TICKLESS]
+        paratick = out[TickMode.PARATICK]
+        # 8 idle vCPUs at 250 Hz -> thousands of exits/s under periodic.
+        assert periodic.exits_per_second > 1_500
+        assert tickless.exits_per_second < 200
+        assert paratick.exits_per_second <= tickless.exits_per_second + 10
+        assert periodic.busy_fraction > 5 * tickless.busy_fraction
+
+    def test_scaling_with_vm_count(self):
+        """W1 -> W2: four times the VMs, about four times the exits."""
+        one = run_idle_overcommit(TickMode.PERIODIC, vms=1, vcpus_per_vm=4, pcpus=2, duration_ns=SEC // 2)
+        four = run_idle_overcommit(TickMode.PERIODIC, vms=4, vcpus_per_vm=4, pcpus=2, duration_ns=SEC // 2)
+        assert four.total_exits == pytest.approx(4 * one.total_exits, rel=0.15)
+
+    def test_time_sharing_actually_happens(self):
+        out = run_idle_overcommit(TickMode.PERIODIC, vms=2, vcpus_per_vm=2, pcpus=1, duration_ns=SEC // 2)
+        assert out.host_switches > 100
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            run_idle_overcommit(TickMode.PERIODIC, vms=0)
+
+
+class TestNetWorkload:
+    def test_net_service_runs_and_blocks(self):
+        from repro.experiments.runner import run_workload
+        from repro.host.exitreasons import ExitReason
+        from repro.workloads.netserve import NetServiceWorkload
+
+        wl = NetServiceWorkload(workers=2, requests=50)
+        m = run_workload(wl, tick_mode=TickMode.TICKLESS, seed=1, noise=False)
+        # Every RPC kicks the NIC once and blocks.
+        assert m.exits.by_reason(ExitReason.IO_INSTRUCTION) == 100
+        assert m.exits.by_reason(ExitReason.HLT) >= 80
+
+    def test_faster_nic_faster_service(self):
+        from repro.experiments.runner import run_workload
+        from repro.hw.nic import DATACENTER_10G, DATACENTER_100G
+        from repro.workloads.netserve import NetServiceWorkload
+
+        def t(profile):
+            wl = NetServiceWorkload(workers=1, requests=100, profile=profile)
+            return run_workload(wl, seed=2, noise=False).exec_time_ns
+
+        assert t(DATACENTER_100G) < t(DATACENTER_10G)

@@ -1,0 +1,17 @@
+"""The self-validation battery must pass (it ships to users)."""
+
+from __future__ import annotations
+
+from repro.experiments import validate
+
+
+def test_validation_battery_passes():
+    results = validate.run_all()
+    failing = [r for r in results if not r.passed]
+    assert not failing, "; ".join(f"{r.name}: {r.detail}" for r in failing)
+    assert len(results) == len(validate.ALL_CHECKS)
+
+
+def test_checks_report_detail():
+    for r in validate.run_all():
+        assert r.detail  # human-readable evidence, not bare booleans

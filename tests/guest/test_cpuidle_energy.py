@@ -1,0 +1,114 @@
+"""Tests for the cpuidle (C-state) model and the energy estimator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import TickMode
+from repro.errors import ConfigError
+from repro.experiments.runner import run_workload
+from repro.guest.cpuidle import C1, C1E, C3, C6, C_STATES, CState, MenuGovernor
+from repro.metrics.energy import EnergyModel, estimate_energy
+from repro.sim.timebase import MSEC, SEC, USEC
+from repro.workloads.micro import IdlePeriodWorkload, IdleWorkload
+
+
+class TestGovernor:
+    def test_no_timer_picks_deepest(self):
+        assert MenuGovernor().select(None) is C6
+
+    def test_short_idle_picks_shallow(self):
+        assert MenuGovernor().select(5 * USEC) is C1
+
+    def test_residency_thresholds(self):
+        g = MenuGovernor()
+        assert g.select(50 * USEC) is C1E
+        assert g.select(150 * USEC) is C3
+        assert g.select(2 * MSEC) is C6
+
+    def test_zero_predicted_still_returns_a_state(self):
+        assert MenuGovernor().select(0) is C_STATES[0]
+
+    def test_states_validated(self):
+        with pytest.raises(ConfigError):
+            CState("bad", -1, 0, 0.5)
+        with pytest.raises(ConfigError):
+            CState("bad", 0, 0, 1.5)
+        with pytest.raises(ConfigError):
+            MenuGovernor(())
+
+
+class TestCpuidleIntegration:
+    def run_idle_period(self, idle_ns, *, mode=TickMode.TICKLESS):
+        return run_workload(
+            IdlePeriodWorkload(idle_ns, iterations=40, work_cycles=500_000),
+            tick_mode=mode,
+            seed=6,
+            noise=False,
+            cpuidle=True,
+        )
+
+    def test_residency_recorded_per_state(self):
+        m = self.run_idle_period(20 * MSEC)
+        cstate_keys = [k for k in m.extra if k.startswith("cstate_")]
+        assert cstate_keys, "no residency recorded"
+        total = sum(m.extra[k] for k in cstate_keys)
+        # Most of the 40 x 20ms of idle shows up as residency.
+        assert total >= 0.6 * 40 * 20 * MSEC
+
+    def test_short_idles_use_shallow_states(self):
+        """Sub-ms sleeps cannot reach C6."""
+        m = self.run_idle_period(300 * USEC)
+        assert m.extra.get("cstate_C6_ns", 0) == 0
+        shallow = m.extra.get("cstate_C1E_ns", 0) + m.extra.get("cstate_C3_ns", 0) + m.extra.get("cstate_C1_ns", 0)
+        assert shallow > 0
+
+    def test_long_idles_reach_deep_states(self):
+        m = self.run_idle_period(20 * MSEC)
+        assert m.extra.get("cstate_C6_ns", 0) > 0
+
+    def test_deep_states_slow_wakeups(self):
+        """Exit latency shows: same workload runs longer with cpuidle on."""
+        base = run_workload(
+            IdlePeriodWorkload(20 * MSEC, iterations=40, work_cycles=500_000),
+            tick_mode=TickMode.TICKLESS, seed=6, noise=False, cpuidle=False,
+        )
+        deep = self.run_idle_period(20 * MSEC)
+        assert deep.exec_time_ns > base.exec_time_ns
+
+    def test_cpuidle_off_records_nothing(self):
+        m = run_workload(
+            IdlePeriodWorkload(5 * MSEC, iterations=10), seed=1, cpuidle=False, noise=False
+        )
+        assert not [k for k in m.extra if k.startswith("cstate_")]
+
+
+class TestEnergyModel:
+    def test_idle_vm_energy_breakdown(self):
+        m = run_workload(IdleWorkload(vcpus=2), tick_mode=TickMode.TICKLESS,
+                         noise=False, cpuidle=True, horizon_ns=SEC)
+        e = estimate_energy(m)
+        # Nearly everything is C-state residency at deep-state power.
+        assert e.cstate_j > 0
+        assert e.cstate_j < 2 * 1.0 * 10.0 * 0.05 * 1.5  # ~C6 power bound
+        assert e.active_j < 0.1 * e.total_j + 0.1
+
+    def test_busy_vm_energy_mostly_active(self):
+        from repro.workloads.parsec import benchmark
+
+        m = run_workload(benchmark("swaptions", target_cycles=110_000_000),
+                         seed=2, noise=False, cpuidle=True)
+        e = estimate_energy(m)
+        assert e.active_j > 0.8 * e.total_j
+
+    def test_model_validation(self):
+        with pytest.raises(ConfigError):
+            EnergyModel(active_power_w=0)
+        with pytest.raises(ConfigError):
+            EnergyModel(default_idle_fraction=2.0)
+
+    def test_scaling_with_power(self):
+        m = run_workload(IdleWorkload(vcpus=1), noise=False, cpuidle=True, horizon_ns=SEC // 2)
+        lo = estimate_energy(m, model=EnergyModel(active_power_w=5.0))
+        hi = estimate_energy(m, model=EnergyModel(active_power_w=20.0))
+        assert hi.total_j == pytest.approx(4 * lo.total_j, rel=0.01)

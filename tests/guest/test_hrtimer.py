@@ -1,0 +1,104 @@
+"""Unit and property tests for the guest hrtimer queue."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GuestError
+from repro.guest.hrtimer import HrtimerQueue
+
+
+class TestBasics:
+    def test_empty_queue(self):
+        q = HrtimerQueue()
+        assert len(q) == 0
+        assert q.next_expiry() is None
+        assert q.pop_expired(10**12) == []
+
+    def test_add_and_next_expiry(self):
+        q = HrtimerQueue()
+        q.add(500, lambda: None, name="a")
+        q.add(100, lambda: None, name="b")
+        q.add(900, lambda: None, name="c")
+        assert q.next_expiry() == 100
+        assert len(q) == 3
+
+    def test_negative_expiry_rejected(self):
+        with pytest.raises(GuestError):
+            HrtimerQueue().add(-1, lambda: None)
+
+    def test_pop_expired_in_order(self):
+        q = HrtimerQueue()
+        for t in (300, 100, 200, 400):
+            q.add(t, lambda: None, name=str(t))
+        out = q.pop_expired(300)
+        assert [t.expires_ns for t in out] == [100, 200, 300]
+        assert q.next_expiry() == 400
+        assert len(q) == 1
+
+    def test_pop_expired_ties_fifo(self):
+        q = HrtimerQueue()
+        a = q.add(100, lambda: None, name="first")
+        b = q.add(100, lambda: None, name="second")
+        out = q.pop_expired(100)
+        assert out == [a, b]
+
+    def test_cancel(self):
+        q = HrtimerQueue()
+        t = q.add(100, lambda: None)
+        assert q.cancel(t) is True
+        assert q.cancel(t) is False  # idempotent
+        assert q.cancel(None) is False
+        assert q.next_expiry() is None
+        assert q.pop_expired(200) == []
+
+    def test_cancelled_timer_not_counted(self):
+        q = HrtimerQueue()
+        t = q.add(100, lambda: None)
+        q.add(200, lambda: None)
+        q.cancel(t)
+        assert len(q) == 1
+        assert q.next_expiry() == 200
+
+    def test_pending_names(self):
+        q = HrtimerQueue()
+        q.add(10, lambda: None, name="tick")
+        t = q.add(20, lambda: None, name="wake")
+        q.cancel(t)
+        assert q.pending_names() == ["tick"]
+
+    def test_callbacks_preserved(self):
+        q = HrtimerQueue()
+        fired = []
+        q.add(5, lambda: fired.append("x"), name="x")
+        for timer in q.pop_expired(5):
+            timer.callback()
+        assert fired == ["x"]
+
+
+class TestProperties:
+    @given(expiries=st.lists(st.integers(min_value=0, max_value=10**9), min_size=1, max_size=100))
+    @settings(max_examples=50)
+    def test_pop_expired_is_sorted_and_complete(self, expiries):
+        q = HrtimerQueue()
+        for e in expiries:
+            q.add(e, lambda: None)
+        cutoff = sorted(expiries)[len(expiries) // 2]
+        out = q.pop_expired(cutoff)
+        got = [t.expires_ns for t in out]
+        assert got == sorted(e for e in expiries if e <= cutoff)
+        assert len(q) == sum(1 for e in expiries if e > cutoff)
+
+    @given(
+        expiries=st.lists(st.integers(min_value=0, max_value=10**6), min_size=2, max_size=50),
+        cancel_idx=st.data(),
+    )
+    @settings(max_examples=50)
+    def test_cancel_then_next_expiry_consistent(self, expiries, cancel_idx):
+        q = HrtimerQueue()
+        handles = [q.add(e, lambda: None) for e in expiries]
+        i = cancel_idx.draw(st.integers(min_value=0, max_value=len(handles) - 1))
+        q.cancel(handles[i])
+        alive = [e for j, e in enumerate(expiries) if j != i]
+        assert q.next_expiry() == min(alive)

@@ -1,0 +1,327 @@
+"""Unit tests for the RCU model, sync primitives and the guest scheduler."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GuestError
+from repro.guest.rcu import Rcu
+from repro.guest.sched import GuestScheduler, RunQueue
+from repro.guest.sync import Barrier, BoundedQueue, CondVar, Mutex
+from repro.guest.task import Task, TaskState
+
+
+def dummy_task(name="t", affinity=0):
+    def body():
+        yield None
+
+    return Task(name, body(), affinity)
+
+
+class TestRcu:
+    def test_callback_after_grace_period(self):
+        rcu = Rcu(1, ops_per_callback=1)
+        rcu.note_update_op(0)
+        assert rcu.needs_cpu(0)
+        assert rcu.take_ready(0) == 0
+        rcu.note_quiescent_state(0)
+        assert rcu.take_ready(0) == 0  # only one QS so far
+        rcu.note_quiescent_state(0)
+        assert rcu.take_ready(0) == 1
+        assert not rcu.needs_cpu(0)
+
+    def test_rate_control(self):
+        rcu = Rcu(1, ops_per_callback=4)
+        for _ in range(12):
+            rcu.note_update_op(0)
+        assert rcu.pending(0) == 3
+
+    def test_per_vcpu_isolation(self):
+        rcu = Rcu(2, ops_per_callback=1)
+        rcu.note_update_op(0)
+        assert rcu.needs_cpu(0)
+        assert not rcu.needs_cpu(1)
+        rcu.note_quiescent_state(1)
+        rcu.note_quiescent_state(1)
+        assert rcu.take_ready(1) == 0
+        assert rcu.pending(0) == 1
+
+    def test_stats(self):
+        rcu = Rcu(1, ops_per_callback=1)
+        for _ in range(3):
+            rcu.note_update_op(0)
+        for _ in range(4):
+            rcu.note_quiescent_state(0)
+        rcu.take_ready(0)
+        s = rcu.stats()
+        assert s["enqueued"] == 3
+        assert s["invoked"] == 3
+
+    def test_invalid_args(self):
+        with pytest.raises(GuestError):
+            Rcu(0)
+        with pytest.raises(GuestError):
+            Rcu(1, ops_per_callback=0)
+
+    @given(ops=st.integers(min_value=0, max_value=500), qs=st.integers(min_value=0, max_value=20))
+    @settings(max_examples=50)
+    def test_property_conservation(self, ops, qs):
+        """enqueued == invoked + still-pending, always."""
+        rcu = Rcu(1, ops_per_callback=3)
+        invoked = 0
+        for i in range(ops):
+            rcu.note_update_op(0)
+            if i % 5 == 0:
+                for _ in range(qs):
+                    rcu.note_quiescent_state(0)
+                invoked += rcu.take_ready(0)
+        s = rcu.stats()
+        assert s["enqueued"] == invoked + rcu.pending(0)
+
+
+class TestMutex:
+    def test_uncontended(self):
+        m = Mutex()
+        a = dummy_task("a")
+        assert m.try_lock(a)
+        assert m.owner is a
+        assert m.unlock(a) is None
+        assert m.owner is None
+
+    def test_contended_handoff(self):
+        m = Mutex()
+        a, b = dummy_task("a"), dummy_task("b")
+        assert m.try_lock(a)
+        assert not m.try_lock(b)
+        woken = m.unlock(a)
+        assert woken is b
+        assert m.owner is b  # ownership handed off directly
+
+    def test_double_lock_detected(self):
+        m = Mutex()
+        a = dummy_task("a")
+        m.try_lock(a)
+        with pytest.raises(GuestError):
+            m.try_lock(a)
+
+    def test_unlock_by_non_owner_detected(self):
+        m = Mutex()
+        a, b = dummy_task("a"), dummy_task("b")
+        m.try_lock(a)
+        with pytest.raises(GuestError):
+            m.unlock(b)
+
+    def test_fifo_waiters(self):
+        m = Mutex()
+        a, b, c = (dummy_task(x) for x in "abc")
+        m.try_lock(a)
+        m.try_lock(b)
+        m.try_lock(c)
+        assert m.unlock(a) is b
+        assert m.unlock(b) is c
+        assert m.contended_acquires == 2
+
+
+class TestBarrier:
+    def test_last_arriver_wakes_all(self):
+        bar = Barrier(3)
+        a, b, c = (dummy_task(x) for x in "abc")
+        assert bar.arrive(a) == []
+        assert bar.arrive(b) == []
+        woken = bar.arrive(c)
+        assert woken == [a, b]
+        assert bar.generations == 1
+
+    def test_cyclic_reuse(self):
+        bar = Barrier(2)
+        a, b = dummy_task("a"), dummy_task("b")
+        for _ in range(5):
+            assert bar.arrive(a) == []
+            assert bar.arrive(b) == [a]
+        assert bar.generations == 5
+
+    def test_double_arrival_detected(self):
+        bar = Barrier(3)
+        a = dummy_task("a")
+        bar.arrive(a)
+        with pytest.raises(GuestError):
+            bar.arrive(a)
+
+    def test_single_party_never_blocks(self):
+        bar = Barrier(1)
+        assert bar.arrive(dummy_task()) == []
+
+
+class TestCondVar:
+    def test_wait_then_signal(self):
+        cv = CondVar()
+        a = dummy_task("a")
+        assert cv.wait(a) is True
+        assert cv.take(1) == [a]
+
+    def test_signal_before_wait_banks_permit(self):
+        """The lost-wakeup guard: early signals are not dropped."""
+        cv = CondVar()
+        assert cv.take(1) == []
+        assert cv.permits == 1
+        a = dummy_task("a")
+        assert cv.wait(a) is False  # consumed the permit, no block
+        assert cv.permits == 0
+
+    def test_broadcast_does_not_bank(self):
+        cv = CondVar()
+        cv.take(-1)
+        assert cv.permits == 0
+
+    def test_broadcast_wakes_all(self):
+        cv = CondVar()
+        tasks = [dummy_task(str(i)) for i in range(4)]
+        for t in tasks:
+            cv.wait(t)
+        assert cv.take(-1) == tasks
+
+    def test_partial_signal(self):
+        cv = CondVar()
+        tasks = [dummy_task(str(i)) for i in range(3)]
+        for t in tasks:
+            cv.wait(t)
+        assert cv.take(2) == tasks[:2]
+        assert cv.waiters[0] is tasks[2]
+
+
+class TestBoundedQueue:
+    def test_put_get_no_blocking(self):
+        q = BoundedQueue(2)
+        p, c = dummy_task("p"), dummy_task("c")
+        assert q.put(p, "x") == (False, None)
+        blocked, item, wake = q.get(c)
+        assert (blocked, item, wake) == (False, "x", None)
+
+    def test_get_blocks_when_empty(self):
+        q = BoundedQueue(2)
+        c = dummy_task("c")
+        blocked, item, wake = q.get(c)
+        assert blocked and item is None and wake is None
+
+    def test_put_wakes_blocked_getter_with_item(self):
+        q = BoundedQueue(2)
+        p, c = dummy_task("p"), dummy_task("c")
+        q.get(c)
+        blocked, wake = q.put(p, "v")
+        assert not blocked and wake is c
+        assert c.pending_value == "v"
+
+    def test_put_blocks_when_full_and_handoff(self):
+        q = BoundedQueue(1)
+        p1, p2, c = dummy_task("p1"), dummy_task("p2"), dummy_task("c")
+        assert q.put(p1, 1) == (False, None)
+        blocked, wake = q.put(p2, 2)
+        assert blocked and wake is None
+        blocked, item, wake = q.get(c)
+        assert not blocked and item == 1 and wake is p2
+        # p2's pending item moved into the queue.
+        blocked, item, _ = q.get(c)
+        assert not blocked and item == 2
+
+    def test_capacity_positive(self):
+        with pytest.raises(GuestError):
+            BoundedQueue(0)
+
+    @given(ops=st.lists(st.sampled_from(["put", "get"]), min_size=1, max_size=100))
+    @settings(max_examples=50)
+    def test_property_fifo_and_conservation(self, ops):
+        """Items come out in the order they went in; nothing is lost."""
+        q = BoundedQueue(3)
+        produced, consumed = [], []
+        seq = 0
+        for op in ops:
+            t = dummy_task(op)
+            if op == "put":
+                blocked, wake = q.put(t, seq)
+                produced.append(seq)  # blocked puts hand off later
+                if wake is not None and wake.pending_value is not None:
+                    consumed.append(wake.pending_value)
+                seq += 1
+            else:
+                blocked, item, wake = q.get(t)
+                if not blocked:
+                    consumed.append(item)
+        assert consumed == sorted(consumed)
+        assert set(consumed) <= set(produced)
+
+
+class TestGuestScheduler:
+    def make(self, nvcpus=2):
+        resched, done = [], []
+        s = GuestScheduler(nvcpus, resched.append, done.append)
+        return s, resched, done
+
+    def test_add_and_pick(self):
+        s, _, _ = self.make()
+        t = dummy_task("t", affinity=1)
+        s.add_task(t)
+        assert s.runnable_waiting(1) == 1
+        assert s.pick_next(1) is t
+        assert t.state is TaskState.RUNNING
+        assert s.current(1) is t
+
+    def test_affinity_bounds_checked(self):
+        s, _, _ = self.make(nvcpus=1)
+        with pytest.raises(GuestError):
+            s.add_task(dummy_task("t", affinity=3))
+
+    def test_block_and_wake_notifies(self):
+        s, resched, _ = self.make()
+        t = dummy_task("t", affinity=0)
+        s.add_task(t)
+        s.pick_next(0)
+        blocked = s.block_current(0, "x")
+        assert blocked is t and t.state is TaskState.BLOCKED
+        assert t.wait_reason == "x"
+        s.wake(t)
+        assert t.state is TaskState.RUNNABLE
+        assert resched == [0]
+
+    def test_wake_done_task_is_noop(self):
+        s, resched, _ = self.make()
+        t = dummy_task("t")
+        t.state = TaskState.DONE
+        s.wake(t)
+        assert resched == []
+
+    def test_wake_runnable_task_rejected(self):
+        s, _, _ = self.make()
+        t = dummy_task("t")
+        s.add_task(t)
+        with pytest.raises(GuestError):
+            s.wake(t)
+
+    def test_preempt_round_robin(self):
+        s, _, _ = self.make(nvcpus=1)
+        a, b = dummy_task("a"), dummy_task("b")
+        s.add_task(a)
+        s.add_task(b)
+        assert s.pick_next(0) is a
+        s.preempt_current(0)
+        assert s.pick_next(0) is b
+        s.preempt_current(0)
+        assert s.pick_next(0) is a
+
+    def test_finish_fires_callback(self):
+        s, _, done = self.make()
+        t = dummy_task("t")
+        s.add_task(t)
+        s.pick_next(0)
+        s.finish_current(0)
+        assert done == [t]
+        assert t.state is TaskState.DONE
+        assert s.alive_tasks() == 0
+
+    def test_double_pick_rejected(self):
+        s, _, _ = self.make()
+        s.add_task(dummy_task("a"))
+        s.add_task(dummy_task("b"))
+        s.pick_next(0)
+        with pytest.raises(GuestError):
+            s.pick_next(0)

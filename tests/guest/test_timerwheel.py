@@ -1,0 +1,124 @@
+"""Unit and property tests for the hierarchical timer wheel."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GuestError
+from repro.guest.timerwheel import TimerWheel
+
+
+class TestBasics:
+    def test_empty(self):
+        w = TimerWheel()
+        assert len(w) == 0
+        assert w.next_expiry() is None
+        assert w.advance_to(1000) == []
+
+    def test_fire_at_expiry(self):
+        w = TimerWheel()
+        fired = []
+        w.add(5, lambda: fired.append(5))
+        out = w.advance_to(10)
+        assert [t.expires_jiffies for t in out] == [5]
+        for t in out:
+            t.callback()
+        assert fired == [5]
+        assert len(w) == 0
+
+    def test_past_expiry_fires_next_jiffy(self):
+        w = TimerWheel(start_jiffies=100)
+        t = w.add(50, lambda: None)  # already past
+        assert t.expires_jiffies == 101
+        assert [x.expires_jiffies for x in w.advance_to(101)] == [101]
+
+    def test_cannot_run_backwards(self):
+        w = TimerWheel(start_jiffies=10)
+        with pytest.raises(GuestError):
+            w.advance_to(5)
+
+    def test_cancel(self):
+        w = TimerWheel()
+        t = w.add(10, lambda: None)
+        assert w.cancel(t) is True
+        assert w.cancel(t) is False
+        assert w.cancel(None) is False
+        assert w.advance_to(20) == []
+        assert len(w) == 0
+
+    def test_next_expiry_scans_levels(self):
+        w = TimerWheel()
+        w.add(100_000, lambda: None)  # deep level
+        w.add(3, lambda: None)
+        assert w.next_expiry() == 3
+
+    def test_fire_order_across_levels(self):
+        w = TimerWheel()
+        expiries = [1, 63, 64, 65, 4096, 5000, 262144]
+        for e in expiries:
+            w.add(e, lambda: None)
+        out = w.advance_to(300_000)
+        assert [t.expires_jiffies for t in out] == sorted(expiries)
+
+    def test_long_range_timer_cascades_correctly(self):
+        """A timer far in the future fires exactly at its jiffy."""
+        w = TimerWheel()
+        w.add(1_000_000, lambda: None, name="far")
+        assert w.advance_to(999_999) == []
+        out = w.advance_to(1_000_000)
+        assert len(out) == 1 and out[0].expires_jiffies == 1_000_000
+
+
+class TestProperties:
+    @given(deltas=st.lists(st.integers(min_value=1, max_value=200_000), min_size=1, max_size=60))
+    @settings(max_examples=30, deadline=None)
+    def test_every_timer_fires_exactly_at_expiry(self, deltas):
+        """The wheel never fires early and, with per-jiffy stepping,
+        never later than the expiry jiffy."""
+        w = TimerWheel()
+        fired: dict[int, int] = {}
+
+        def make_cb(idx):
+            return lambda: None
+
+        expiries = []
+        for i, d in enumerate(deltas):
+            t = w.add(d, make_cb(i), name=str(i))
+            expiries.append(t.expires_jiffies)
+        horizon = max(expiries)
+        seen = []
+        for t in w.advance_to(horizon):
+            assert t.expires_jiffies <= w.current_jiffies
+            seen.append(t.expires_jiffies)
+        assert sorted(seen) == sorted(expiries)
+        assert len(w) == 0
+
+    @given(
+        start=st.integers(min_value=0, max_value=10**6),
+        deltas=st.lists(st.integers(min_value=1, max_value=100_000), min_size=1, max_size=40),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_firing_time_equals_expiry_even_with_offset_start(self, start, deltas):
+        w = TimerWheel(start_jiffies=start)
+        handles = [w.add(start + d, lambda: None) for d in deltas]
+        by_expiry: dict[int, int] = {}
+        cur = start
+        horizon = max(t.expires_jiffies for t in handles)
+        while cur < horizon:
+            cur = min(cur + 1, horizon)
+            for t in w.advance_to(cur):
+                by_expiry.setdefault(t.expires_jiffies, cur)
+        for t in handles:
+            assert by_expiry[t.expires_jiffies] == t.expires_jiffies
+
+    @given(deltas=st.lists(st.integers(min_value=1, max_value=50_000), min_size=2, max_size=40))
+    @settings(max_examples=30, deadline=None)
+    def test_cancel_half_fires_other_half(self, deltas):
+        w = TimerWheel()
+        handles = [w.add(d, lambda: None) for d in deltas]
+        for h in handles[::2]:
+            w.cancel(h)
+        expected = sorted(h.expires_jiffies for h in handles[1::2])
+        out = w.advance_to(max(deltas) + 1)
+        assert sorted(t.expires_jiffies for t in out) == expected

@@ -1,0 +1,47 @@
+"""Tests for EOI-write interception (APICv toggle)."""
+
+from __future__ import annotations
+
+from repro.config import HostFeatures, TickMode
+from repro.experiments.runner import run_workload
+from repro.host.exitreasons import ExitTag
+from repro.workloads.micro import PingPongWorkload
+
+
+def run(virtual_eoi: bool, mode=TickMode.TICKLESS):
+    return run_workload(
+        PingPongWorkload(rounds=150, work_cycles=200_000),
+        tick_mode=mode,
+        features=HostFeatures(virtual_eoi=virtual_eoi),
+        seed=7,
+        noise=False,
+    )
+
+
+class TestEoi:
+    def test_virtual_eoi_takes_no_eoi_exits(self):
+        m = run(True)
+        assert m.exits.by_tag(ExitTag.EOI) == 0
+
+    def test_trapped_eoi_one_per_injected_interrupt(self):
+        m = run(False)
+        eois = m.exits.by_tag(ExitTag.EOI)
+        # Every ping-pong wake is one injected RESCHEDULE -> one EOI;
+        # plus boot-time and timer interrupts.
+        assert eois >= 250
+
+    def test_eoi_exits_are_not_timer_related(self):
+        m = run(False)
+        assert m.exits.by_tag(ExitTag.EOI) > 0
+        assert ExitTag.EOI not in __import__("repro.host.exitreasons", fromlist=["TIMER_TAGS"]).TIMER_TAGS
+
+    def test_trapped_eoi_costs_cycles(self):
+        fast = run(True)
+        slow = run(False)
+        assert slow.total_cycles > fast.total_cycles
+        assert slow.exec_time_ns > fast.exec_time_ns
+
+    def test_paratick_also_pays_eoi_for_virtual_ticks(self):
+        """Vector 235 is an interrupt like any other: its handler EOIs."""
+        m = run(False, mode=TickMode.PARATICK)
+        assert m.exits.by_tag(ExitTag.EOI) > 0

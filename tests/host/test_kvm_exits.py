@@ -1,0 +1,309 @@
+"""Behavioural tests of the KVM executor: exit costs, injection,
+preemption timer, halt polling, periodic emulation, overcommit."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import HostFeatures, MachineSpec, TickMode, VmSpec
+from repro.guest.kernel import GuestKernel
+from repro.guest.task import Run, Sleep, Task
+from repro.host.exitreasons import ExitReason, ExitTag
+from repro.host.kvm import HC_PARATICK_SET_PERIOD, Hypervisor
+from repro.host.vcpu import VcpuState
+from repro.hw.cpu import CycleDomain, Machine
+from repro.sim.engine import Simulator
+from repro.sim.timebase import MSEC, SEC
+from tests.integration.helpers import build_stack
+
+
+class TestHypervisorSetup:
+    def test_create_vm_pins_vcpus(self):
+        sim = Simulator()
+        machine = Machine(sim, MachineSpec(sockets=1, cpus_per_socket=4))
+        hv = Hypervisor(sim, machine)
+        vm = hv.create_vm(VmSpec(vcpus=2, pinned_cpus=(1, 3)))
+        assert [v.pcpu.index for v in vm.vcpus] == [1, 3]
+
+    def test_auto_placement_round_robin(self):
+        sim = Simulator()
+        machine = Machine(sim, MachineSpec(sockets=1, cpus_per_socket=4))
+        hv = Hypervisor(sim, machine)
+        vm1 = hv.create_vm(VmSpec(name="a", vcpus=2))
+        vm2 = hv.create_vm(VmSpec(name="b", vcpus=2))
+        assert [v.pcpu.index for v in vm1.vcpus] == [0, 1]
+        assert [v.pcpu.index for v in vm2.vcpus] == [2, 3]
+
+    def test_start_without_kernel_raises(self):
+        sim = Simulator()
+        machine = Machine(sim, MachineSpec(sockets=1, cpus_per_socket=1))
+        hv = Hypervisor(sim, machine)
+        hv.create_vm(VmSpec(vcpus=1))
+        from repro.errors import HostError
+
+        with pytest.raises(HostError):
+            hv.start()
+
+    def test_find_vm(self):
+        sim = Simulator()
+        machine = Machine(sim, MachineSpec(sockets=1, cpus_per_socket=1))
+        hv = Hypervisor(sim, machine)
+        vm = hv.create_vm(VmSpec(name="x", vcpus=1))
+        assert hv.find_vm("x") is vm
+        from repro.errors import HostError
+
+        with pytest.raises(HostError):
+            hv.find_vm("nope")
+
+    def test_hypercall_sets_paratick_state(self):
+        sim, machine, hv, vm, kernel = build_stack(tick_mode=TickMode.PARATICK)
+        hv.start()
+        sim.run(until=MSEC)
+        assert vm.paratick_enabled
+        assert vm.paratick_period_ns == 4 * MSEC
+
+
+class TestExitAccounting:
+    def test_exit_costs_accounted_to_domains(self):
+        sim, machine, hv, vm, kernel = build_stack(tick_mode=TickMode.TICKLESS)
+
+        def body():
+            yield Run(50_000_000)
+
+        kernel.add_task(Task("t", body(), affinity=0))
+        hv.start()
+        sim.run(until=100 * MSEC)
+        led = machine.cpu(0).ledger()
+        assert led[CycleDomain.VMX_TRANSITION] > 0
+        assert led[CycleDomain.HOST_HANDLER] > 0
+        assert led[CycleDomain.POLLUTION] > 0
+        assert led[CycleDomain.GUEST_USER] > 0
+
+    def test_busy_time_never_exceeds_elapsed(self):
+        """The fundamental accounting invariant per CPU."""
+        for mode in TickMode:
+            sim, machine, hv, vm, kernel = build_stack(tick_mode=mode)
+
+            def body():
+                for _ in range(20):
+                    yield Run(1_000_000)
+                    yield Sleep(2 * MSEC)
+
+            kernel.add_task(Task("t", body(), affinity=0))
+            hv.start()
+            end = sim.run(until=SEC)
+            cpu = machine.cpu(0)
+            serialized = (
+                cpu.busy_ns()
+                - cpu.busy_ns(CycleDomain.HOST_TICK)
+                - cpu.busy_ns(CycleDomain.HOST_IO)
+            )
+            assert serialized <= end, mode
+
+    def test_counters_by_reason_and_vcpu(self):
+        sim, machine, hv, vm, kernel = build_stack(tick_mode=TickMode.TICKLESS)
+
+        def body():
+            yield Run(50_000_000)
+
+        kernel.add_task(Task("t", body(), affinity=0))
+        hv.start()
+        sim.run(until=100 * MSEC)
+        c = vm.counters
+        assert c.for_vcpu(0) == c.total
+        assert c.by_reason(ExitReason.MSR_WRITE) > 0
+        assert c.by_reason(ExitReason.PREEMPTION_TIMER) > 0
+
+
+class TestPreemptionTimerPath:
+    def test_deadline_while_running_uses_preemption_timer(self):
+        """§3: the KVM optimization — deadline expiry while in guest
+        mode is a PREEMPTION_TIMER exit, not an external interrupt."""
+        sim, machine, hv, vm, kernel = build_stack(tick_mode=TickMode.TICKLESS)
+
+        def body():
+            yield Run(2_200_000 * 20)  # ~20ms: several ticks while running
+
+        kernel.add_task(Task("t", body(), affinity=0))
+        hv.start()
+        sim.run(until=100 * MSEC)
+        assert vm.counters.by_reason(ExitReason.PREEMPTION_TIMER) >= 3
+
+    def test_deadline_while_halted_wakes_without_exit(self):
+        """A guest timer expiring while blocked is a host-timer wakeup:
+        injection on entry, no PREEMPTION_TIMER exit."""
+        sim, machine, hv, vm, kernel = build_stack(tick_mode=TickMode.TICKLESS, seed=1)
+
+        def body():
+            yield Sleep(20 * MSEC)  # wheel timer; vCPU halts meanwhile
+
+        done = []
+        kernel.add_task(Task("t", body(), affinity=0))
+        kernel.task_done_callbacks.append(lambda t: done.append(sim.now))
+        hv.start()
+        sim.run(until=SEC)
+        assert done and done[0] >= 20 * MSEC
+
+
+class TestHaltPolling:
+    def run_pingpong(self, poll_ns):
+        from repro.workloads.micro import PingPongWorkload
+        from repro.experiments.runner import run_workload
+
+        return run_workload(
+            PingPongWorkload(rounds=300, work_cycles=30_000),
+            tick_mode=TickMode.TICKLESS,
+            features=HostFeatures(halt_poll_ns=poll_ns),
+            seed=3,
+        )
+
+    def test_polling_accumulates_poll_cycles(self):
+        m = self.run_pingpong(100_000)
+        assert m.ledger[CycleDomain.HALT_POLL] > 0
+
+    def test_no_polling_no_poll_cycles(self):
+        m = self.run_pingpong(0)
+        assert m.ledger[CycleDomain.HALT_POLL] == 0
+
+    def test_polling_reduces_block_wake_cycles(self):
+        """A poll hit skips the block/wake path (HOST_SCHED shrinks)."""
+        off = self.run_pingpong(0)
+        on = self.run_pingpong(200_000)
+        assert on.ledger[CycleDomain.HOST_SCHED] < off.ledger[CycleDomain.HOST_SCHED]
+
+
+class TestOvercommit:
+    def test_two_vcpus_share_one_cpu(self):
+        """Two compute-bound vCPUs pinned to one CPU time-share it and
+        both finish, taking ~2x the solo runtime."""
+        sim = Simulator(seed=0)
+        machine = Machine(sim, MachineSpec(sockets=1, cpus_per_socket=1))
+        hv = Hypervisor(sim, machine)
+        vm = hv.create_vm(
+            VmSpec(vcpus=2, tick_mode=TickMode.TICKLESS, pinned_cpus=(0, 0), noise=False)
+        )
+        kernel = GuestKernel(vm)
+        done = []
+
+        def body():
+            yield Run(110_000_000)  # ~50ms at 2.2GHz
+
+        for i in range(2):
+            kernel.add_task(Task(f"t{i}", body(), affinity=i))
+        kernel.task_done_callbacks.append(lambda t: done.append(sim.now))
+        hv.start()
+        sim.run(until=SEC)
+        assert len(done) == 2
+        # Two 50ms jobs on one CPU: at least ~100ms wall.
+        assert done[-1] >= 95 * MSEC
+        assert hv.sched.switches > 2  # actual time sharing happened
+
+    def test_preempted_vcpu_state_cycle(self):
+        sim = Simulator(seed=0)
+        machine = Machine(sim, MachineSpec(sockets=1, cpus_per_socket=1))
+        hv = Hypervisor(sim, machine)
+        vm = hv.create_vm(
+            VmSpec(vcpus=2, tick_mode=TickMode.TICKLESS, pinned_cpus=(0, 0), noise=False)
+        )
+        kernel = GuestKernel(vm)
+        for i in range(2):
+            def body():
+                yield Run(220_000_000)
+
+            kernel.add_task(Task(f"t{i}", body(), affinity=i))
+        hv.start()
+        sim.run(until=20 * MSEC)
+        states = {v.state for v in vm.vcpus}
+        # One runs, the other waits its turn.
+        assert VcpuState.READY in states or VcpuState.EXITED in states or VcpuState.GUEST in states
+
+
+class TestIpiRouting:
+    def test_cross_socket_wake_costs_more(self):
+        """NUMA: waking a vCPU on another socket pays the penalty."""
+        from repro.workloads.micro import PingPongWorkload
+        from repro.experiments.runner import run_workload
+
+        near = run_workload(
+            PingPongWorkload(rounds=400, work_cycles=30_000),
+            tick_mode=TickMode.PARATICK,
+            machine_spec=MachineSpec(sockets=2, cpus_per_socket=2),
+            pinned_cpus=(0, 1),  # same socket
+            seed=5,
+        )
+        far = run_workload(
+            PingPongWorkload(rounds=400, work_cycles=30_000),
+            tick_mode=TickMode.PARATICK,
+            machine_spec=MachineSpec(sockets=2, cpus_per_socket=2),
+            pinned_cpus=(0, 2),  # across sockets
+            seed=5,
+        )
+        assert far.ledger[CycleDomain.HOST_SCHED] > near.ledger[CycleDomain.HOST_SCHED]
+
+    def test_bad_ipi_destination_raises(self):
+        sim, machine, hv, vm, kernel = build_stack()
+        from repro.errors import HostError
+
+        with pytest.raises(HostError):
+            hv.send_ipi(vm, vm.vcpus[0], 99, __import__("repro.hw.interrupts", fromlist=["Vector"]).Vector.RESCHEDULE)
+
+
+class TestRateAdaptation:
+    """§4.1's preemption-timer backstop (paratick_rate_adapt)."""
+
+    def run_cpu_bound(self, *, host_hz, adapt, seed=0):
+        from repro.config import MachineSpec
+        from repro.experiments.runner import run_workload
+        from repro.workloads.parsec import benchmark
+
+        return run_workload(
+            benchmark("swaptions", target_cycles=220_000_000),
+            tick_mode=TickMode.PARATICK,
+            seed=seed,
+            noise=False,
+            machine_spec=MachineSpec(host_tick_hz=host_hz),
+            features=HostFeatures(paratick_rate_adapt=adapt),
+        )
+
+    def test_slow_host_starves_ticks_without_backstop(self):
+        m = self.run_cpu_bound(host_hz=50, adapt=False)
+        delivered = m.extra["virtual_ticks"] / (m.exec_time_ns / 1e9)
+        assert delivered < 80  # degraded toward the 50 Hz host rate
+
+    def test_backstop_restores_declared_rate(self):
+        m = self.run_cpu_bound(host_hz=50, adapt=True)
+        delivered = m.extra["virtual_ticks"] / (m.exec_time_ns / 1e9)
+        assert 220 <= delivered <= 265
+
+    def test_backstop_exits_are_preemption_timer(self):
+        from repro.host.exitreasons import ExitReason
+
+        m = self.run_cpu_bound(host_hz=50, adapt=True)
+        # The backstop fires as (cheap) preemption-timer exits at ~the
+        # guest tick rate minus the host's own ticks (~200/s over a
+        # ~100 ms run); no guest timer interrupt is fabricated for them.
+        expected = 200 * m.exec_time_ns / 1e9
+        assert m.exits.by_reason(ExitReason.PREEMPTION_TIMER) == pytest.approx(expected, rel=0.4)
+
+    def test_backstop_harmless_at_matching_rates(self):
+        off = self.run_cpu_bound(host_hz=250, adapt=False)
+        on = self.run_cpu_bound(host_hz=250, adapt=True)
+        d_off = off.extra["virtual_ticks"] / (off.exec_time_ns / 1e9)
+        d_on = on.extra["virtual_ticks"] / (on.exec_time_ns / 1e9)
+        assert abs(d_on - d_off) < 25
+
+
+class TestHypercalls:
+    def test_unknown_hypercall_raises(self):
+        sim, machine, hv, vm, kernel = build_stack()
+        from repro.errors import HostError
+
+        with pytest.raises(HostError):
+            vm.handle_hypercall(vm.vcpus[0], 999, 0)
+
+    def test_invalid_period_raises(self):
+        sim, machine, hv, vm, kernel = build_stack()
+        from repro.errors import HostError
+
+        with pytest.raises(HostError):
+            vm.handle_hypercall(vm.vcpus[0], HC_PARATICK_SET_PERIOD, 0)

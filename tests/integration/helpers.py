@@ -1,0 +1,33 @@
+"""Shared builders for full-stack integration tests."""
+
+from __future__ import annotations
+
+from repro.config import HostFeatures, MachineSpec, TickMode, VmSpec
+from repro.guest.kernel import GuestKernel
+from repro.host.costs import DEFAULT_COSTS
+from repro.host.kvm import Hypervisor
+from repro.hw.cpu import Machine
+from repro.sim.engine import Simulator
+
+
+def build_stack(
+    *,
+    tick_mode: TickMode = TickMode.TICKLESS,
+    vcpus: int = 1,
+    seed: int = 0,
+    machine_spec: MachineSpec | None = None,
+    features: HostFeatures = HostFeatures(),
+    costs=DEFAULT_COSTS,
+    tick_hz: int = 250,
+):
+    """Simulator + machine + hypervisor + one VM + its kernel."""
+    sim = Simulator(seed=seed)
+    mspec = machine_spec or MachineSpec(sockets=1, cpus_per_socket=max(vcpus, 1))
+    machine = Machine(sim, mspec)
+    hv = Hypervisor(sim, machine, costs=costs, features=features)
+    vm = hv.create_vm(
+        VmSpec(name="vm0", vcpus=vcpus, tick_mode=tick_mode, tick_hz=tick_hz,
+               pinned_cpus=tuple(range(vcpus)))
+    )
+    kernel = GuestKernel(vm)
+    return sim, machine, hv, vm, kernel

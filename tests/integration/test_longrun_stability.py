@@ -1,0 +1,64 @@
+"""Long-run stability: no event/timer/op-queue leaks.
+
+A leaked timer or op per idle transition would be invisible in short
+runs but fatal for long experiments; these tests run multi-second
+simulations and assert the bookkeeping stays bounded.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import TickMode
+from repro.guest.noise import install_noise
+from repro.sim.timebase import SEC
+from tests.integration.helpers import build_stack
+
+
+@pytest.mark.parametrize("mode", list(TickMode))
+def test_noise_only_vm_runs_5s_without_leaks(mode):
+    sim, machine, hv, vm, kernel = build_stack(tick_mode=mode, vcpus=2, seed=8)
+    install_noise(kernel)
+    hv.start()
+    sim.run(until=5 * SEC)
+    # Pending events stay bounded: per vCPU a handful of timers/chains,
+    # not per-transition accumulation (5s of noise = ~200 transitions).
+    assert sim.pending_events() < 60, f"{mode}: event leak ({sim.pending_events()} pending)"
+    for vidx in range(2):
+        ctx = kernel.ctx(vidx)
+        assert len(ctx.ops) < 10, f"{mode}: op-queue leak on vCPU{vidx}"
+        assert len(ctx.hrtimers) < 10, f"{mode}: hrtimer leak"
+        assert len(ctx.wheel) < 10, f"{mode}: wheel-timer leak"
+        assert len(ctx.io_done) == 0
+
+
+@pytest.mark.parametrize("mode", [TickMode.TICKLESS, TickMode.PARATICK])
+def test_exit_rate_is_stationary(mode):
+    """The exit rate in the second half of a long idle-ish run matches
+    the first half — no slow accumulation of timer churn."""
+    sim, machine, hv, vm, kernel = build_stack(tick_mode=mode, vcpus=1, seed=9)
+    install_noise(kernel)
+    hv.start()
+    sim.run(until=2 * SEC)
+    first = vm.counters.total
+    sim.run(until=4 * SEC)
+    second = vm.counters.total - first
+    assert second == pytest.approx(first, rel=0.5)
+
+
+def test_wheel_jiffies_track_time_under_paratick():
+    """Virtual ticks must keep jiffies advancing ~1:1 with real time on
+    an active vCPU over a long run (timekeeping would drift otherwise)."""
+    from repro.guest.task import Run, Task
+
+    sim, machine, hv, vm, kernel = build_stack(tick_mode=TickMode.PARATICK, seed=10)
+
+    def body():
+        yield Run(4_400_000_000)  # 2s of compute
+
+    kernel.add_task(Task("t", body(), affinity=0))
+    hv.start()
+    sim.run(until=3 * SEC)
+    jiffies = kernel.ctx(0).wheel.current_jiffies
+    expected = 2 * SEC // (4 * 1_000_000)  # 2s of active ticks at 250Hz
+    assert jiffies == pytest.approx(expected, rel=0.08)

@@ -1,0 +1,89 @@
+"""Cross-validation: the §3 closed forms against the full simulator.
+
+The analytical model and the simulator were built independently (one
+from the paper's formulas, one from the mechanism); agreeing within
+modest factors on matched scenarios is evidence both are right.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import TickMode
+from repro.core.model import TABLE1_CONVENTION, VmLoadModel, periodic_exits, tickless_exits
+from repro.experiments.runner import run_workload
+from repro.sim.timebase import SEC
+from repro.workloads.micro import IdleWorkload, SyncStormWorkload
+
+
+class TestIdleVmAgreement:
+    def test_periodic_idle_matches_closed_form(self):
+        """W1: 16 idle vCPUs at 250 Hz -> 4 000 exits/s (per-event
+        convention); the simulator must land within a few percent."""
+        m = run_workload(
+            IdleWorkload(vcpus=16),
+            tick_mode=TickMode.PERIODIC,
+            noise=False,
+            horizon_ns=SEC,
+        )
+        model = periodic_exits(
+            [VmLoadModel(vcpus=16, tick_hz=250, load=0.0)], 1.0, TABLE1_CONVENTION
+        )
+        assert m.total_exits == pytest.approx(model, rel=0.05)
+
+    def test_tickless_idle_matches_closed_form(self):
+        """W1 tickless: ~0 exits."""
+        m = run_workload(
+            IdleWorkload(vcpus=16),
+            tick_mode=TickMode.TICKLESS,
+            noise=False,
+            horizon_ns=SEC,
+        )
+        assert m.total_exits < 100  # boot writes + first idle entries only
+
+
+class TestSyncStormAgreement:
+    def test_tickless_sync_storm_within_2x_of_closed_form(self):
+        """W3-style: the simulator's *timer-related* exits against the
+        §3.2 form with matching parameters (L~1, transitions = event
+        rate). Linux's keep-tick smarts make the simulator land at or
+        below the formula; within 2x both ways is the sanity band."""
+        events = 4000.0
+        threads = 8
+        wl = SyncStormWorkload(threads=threads, events_per_second=events, duration_cycles=250_000_000)
+        m = run_workload(wl, tick_mode=TickMode.TICKLESS, seed=1, noise=False)
+        secs = m.exec_time_ns / 1e9
+        measured_rate = m.timer_exits / secs
+        model_rate = tickless_exits(
+            [VmLoadModel(vcpus=threads, tick_hz=250, load=1.0, idle_transitions_hz=events)],
+            1.0,
+            TABLE1_CONVENTION,
+        )
+        assert model_rate / 2 <= measured_rate <= model_rate * 2, (
+            f"measured {measured_rate:,.0f}/s vs model {model_rate:,.0f}/s"
+        )
+
+    def test_measured_t_idle_matches_configured(self):
+        """§3.2's T_idle, measured from halt episodes: an idle-period
+        workload sleeping N ms must show mean halt length ~N ms."""
+        from repro.sim.timebase import MSEC
+        from repro.workloads.micro import IdlePeriodWorkload
+
+        m = run_workload(
+            IdlePeriodWorkload(5 * MSEC, iterations=60, work_cycles=500_000),
+            tick_mode=TickMode.TICKLESS,
+            seed=3,
+            noise=False,
+        )
+        mean_idle = m.extra["halted_ns"] / m.extra["halt_episodes"]
+        assert 4 * MSEC <= mean_idle <= 6 * MSEC
+
+    def test_crossover_direction_agrees(self):
+        """At high event rates the simulator, like the model, has
+        tickless exceed periodic in total exits (§3.3)."""
+        wl = SyncStormWorkload(threads=8, events_per_second=8000.0, duration_cycles=150_000_000)
+        nohz = run_workload(wl, tick_mode=TickMode.TICKLESS, seed=2, noise=False)
+        per = run_workload(wl, tick_mode=TickMode.PERIODIC, seed=2, noise=False)
+        nohz_rate = nohz.total_exits / nohz.exec_time_ns
+        per_rate = per.total_exits / per.exec_time_ns
+        assert nohz_rate > per_rate

@@ -1,0 +1,55 @@
+"""Randomized overcommit scenarios: host-scheduler invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config import MachineSpec, TickMode, VmSpec
+from repro.guest.kernel import GuestKernel
+from repro.guest.task import Run, Task
+from repro.host.kvm import Hypervisor
+from repro.hw.cpu import CycleDomain, Machine
+from repro.sim.engine import Simulator
+from repro.sim.timebase import SEC
+
+
+@given(
+    nvcpus=st.integers(min_value=1, max_value=6),
+    pcpus=st.integers(min_value=1, max_value=3),
+    mode=st.sampled_from([TickMode.TICKLESS, TickMode.PARATICK]),
+)
+@settings(max_examples=20, deadline=None)
+def test_overcommitted_compute_all_finishes_and_cpu_never_overbooked(nvcpus, pcpus, mode):
+    """Any vCPU:pCPU ratio: every task finishes, no pCPU is overbooked,
+    and total useful work equals the sum of task budgets."""
+    sim = Simulator(seed=nvcpus * 10 + pcpus)
+    machine = Machine(sim, MachineSpec(sockets=1, cpus_per_socket=pcpus))
+    hv = Hypervisor(sim, machine)
+    pins = tuple(i % pcpus for i in range(nvcpus))
+    vm = hv.create_vm(VmSpec(vcpus=nvcpus, tick_mode=mode, pinned_cpus=pins, noise=False))
+    kernel = GuestKernel(vm)
+    work = 22_000_000  # 10ms each at 2.2GHz
+    done = []
+
+    def body():
+        yield Run(work)
+
+    for i in range(nvcpus):
+        kernel.add_task(Task(f"t{i}", body(), affinity=i))
+    kernel.task_done_callbacks.append(lambda t: done.append(sim.now))
+    hv.start()
+    end = sim.run(until=10 * SEC)
+    assert len(done) == nvcpus
+    for cpu in machine.cpus:
+        serialized = (
+            cpu.busy_ns()
+            - cpu.busy_ns(CycleDomain.HOST_TICK)
+            - cpu.busy_ns(CycleDomain.HOST_IO)
+        )
+        assert serialized <= end + 1
+    total_user = machine.total_busy_cycles(CycleDomain.GUEST_USER)
+    assert total_user >= nvcpus * work
+    # The busiest CPU carried at least its fair share of the work time.
+    per_cpu_jobs = max(pins.count(c) for c in range(pcpus))
+    min_span = machine.clock.cycles_to_ns(per_cpu_jobs * work)
+    assert max(done) >= min_span

@@ -1,0 +1,181 @@
+"""Full-stack smoke tests: boot each tick mode, run tasks, check the
+fundamental exit-accounting properties the paper's analysis relies on."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import TickMode
+from repro.guest.task import Run, Sleep, Task
+from repro.host.exitreasons import ExitReason, ExitTag
+from repro.hw.cpu import CycleDomain
+from repro.sim.timebase import MSEC, SEC
+from tests.integration.helpers import build_stack
+
+
+def run_for(sim, hv, duration_ns):
+    hv.start()
+    sim.run(until=duration_ns)
+
+
+class TestBootIdle:
+    """An idle VM (no tasks) in each mode."""
+
+    @pytest.mark.parametrize("mode", list(TickMode))
+    def test_boots_and_idles(self, mode):
+        sim, machine, hv, vm, kernel = build_stack(tick_mode=mode)
+        run_for(sim, hv, SEC)
+        assert sim.now == SEC
+        # The vCPU spent almost all its time halted: busy a tiny fraction.
+        assert machine.total_busy_ns() < SEC // 10
+
+    def test_idle_tickless_vm_takes_no_periodic_ticks(self):
+        """Fig. 1: a fully idle tickless guest stops its tick."""
+        sim, machine, hv, vm, kernel = build_stack(tick_mode=TickMode.TICKLESS)
+        run_for(sim, hv, SEC)
+        # Boot arms the tick once; the first idle entry cancels it. No
+        # guest-tick deliveries should occur over a full second.
+        assert vm.counters.by_tag(ExitTag.TIMER_GUEST_TICK) <= 2
+
+    def test_idle_periodic_vm_takes_every_tick(self):
+        """§3.1: periodic ticks arrive regardless of load (250/s).
+
+        A tick to a *halted* vCPU is delivered by wake+inject (no exit at
+        delivery — the vCPU was not in guest mode), but every tick then
+        ends in a fresh HLT exit, so the idle VM still pays ~f_tick exits
+        per second, exactly the §3.1 overcommit problem.
+        """
+        sim, machine, hv, vm, kernel = build_stack(tick_mode=TickMode.PERIODIC)
+        run_for(sim, hv, SEC)
+        hlts = vm.counters.by_reason(ExitReason.HLT)
+        assert 240 <= hlts <= 262
+        assert vm.counters.total >= hlts
+
+    def test_idle_paratick_vm_is_quiet(self):
+        """§4.1: idle vCPUs receive no virtual ticks and arm no timers
+        (no RCU/softirq work pending)."""
+        sim, machine, hv, vm, kernel = build_stack(tick_mode=TickMode.PARATICK)
+        run_for(sim, hv, SEC)
+        assert vm.counters.by_tag(ExitTag.TIMER_GUEST_TICK) == 0
+        # Only the boot hypercall and at most an initial program.
+        assert vm.counters.total <= 4
+
+
+class TestComputeBound:
+    """One CPU-bound task, no blocking."""
+
+    def make(self, mode, work_cycles=2_200_000_000):  # ~1s at 2.2GHz
+        sim, machine, hv, vm, kernel = build_stack(tick_mode=mode)
+        done = []
+
+        def body():
+            yield Run(work_cycles)
+
+        t = Task("spin", body(), affinity=0)
+        kernel.add_task(t)
+        kernel.task_done_callbacks.append(lambda task: done.append(sim.now))
+        run_for(sim, hv, 2 * SEC)
+        return sim, machine, hv, vm, kernel, t, done
+
+    def test_task_completes_and_takes_at_least_its_work(self):
+        sim, machine, hv, vm, kernel, t, done = self.make(TickMode.TICKLESS)
+        assert len(done) == 1
+        assert done[0] >= SEC  # 1s of work cannot finish early
+        assert machine.cpu(0).busy_ns(CycleDomain.GUEST_USER) >= SEC - MSEC
+
+    def test_tickless_active_ticks_cost_two_exits_each(self):
+        """Active tickless: each tick = preemption-timer delivery + re-arm
+        MSR write (the '2 x f_tick' of §3.2's active term)."""
+        sim, machine, hv, vm, kernel, t, done = self.make(TickMode.TICKLESS)
+        runtime_s = done[0] / SEC
+        deliveries = vm.counters.by_reason(ExitReason.PREEMPTION_TIMER)
+        programs = vm.counters.by_tag(ExitTag.TIMER_PROGRAM)
+        expected_ticks = 250 * runtime_s
+        assert deliveries == pytest.approx(expected_ticks, rel=0.1)
+        assert programs == pytest.approx(expected_ticks, rel=0.15)
+
+    def test_paratick_active_has_no_guest_timer_exits(self):
+        """Paratick: an active vCPU causes no TIMER_PROGRAM or guest-tick
+        delivery exits at all — ticks ride on host-tick exits."""
+        sim, machine, hv, vm, kernel, t, done = self.make(TickMode.PARATICK)
+        assert vm.counters.by_tag(ExitTag.TIMER_PROGRAM) == 0
+        assert vm.counters.by_reason(ExitReason.PREEMPTION_TIMER) == 0
+        # Host ticks still interrupt the running vCPU ~250/s.
+        host_ticks = vm.counters.by_tag(ExitTag.TIMER_HOST_TICK)
+        assert host_ticks == pytest.approx(250 * done[0] / SEC, rel=0.1)
+
+    def test_paratick_receives_virtual_ticks_at_the_right_rate(self):
+        """The guest must still see ~f_tick ticks (vector 235) while
+        active, or timekeeping would break."""
+        sim, machine, hv, vm, kernel, t, done = self.make(TickMode.PARATICK)
+        ctx = kernel.ctx(0)
+        # Wheel jiffies advanced to ~ the full runtime in ticks.
+        expected_jiffies = done[0] // (4 * MSEC)
+        assert ctx.wheel.current_jiffies == pytest.approx(expected_jiffies, rel=0.1)
+
+    def test_paratick_fewer_exits_than_tickless(self):
+        """The headline mechanism: same work, fewer exits."""
+        *_, vm_nohz, k1, t1, d1 = self.make(TickMode.TICKLESS)[2:]
+        out = self.make(TickMode.PARATICK)
+        vm_para = out[3]
+        assert vm_para.counters.total < vm_nohz.counters.total * 0.6
+
+    def test_modes_agree_on_execution_semantics(self):
+        """Execution completes in every mode; tick management must never
+        change what the workload computes, only how long it takes."""
+        times = {}
+        for mode in TickMode:
+            *_, done = self.make(mode)
+            assert len(done) == 1
+            times[mode] = done[0]
+        # All within a few percent of each other.
+        lo, hi = min(times.values()), max(times.values())
+        assert hi / lo < 1.05
+
+
+class TestSleepWake:
+    """Timer-wheel sleeps drive idle entry/exit through each policy."""
+
+    def make(self, mode, naps=20, nap_ns=10 * MSEC):
+        sim, machine, hv, vm, kernel = build_stack(tick_mode=mode)
+        done = []
+
+        def body():
+            for _ in range(naps):
+                yield Run(100_000)
+                yield Sleep(nap_ns)
+
+        t = Task("napper", body(), affinity=0)
+        kernel.add_task(t)
+        kernel.task_done_callbacks.append(lambda task: done.append(sim.now))
+        run_for(sim, hv, 2 * SEC)
+        return sim, machine, hv, vm, kernel, done
+
+    @pytest.mark.parametrize("mode", list(TickMode))
+    def test_sleeps_complete_and_take_full_duration(self, mode):
+        sim, machine, hv, vm, kernel, done = self.make(mode)
+        assert len(done) == 1
+        # 20 naps x 10ms >= 200ms; wheel granularity may round up.
+        assert done[0] >= 200 * MSEC
+
+    def test_tickless_pays_two_timer_programs_per_nap(self):
+        """Fig. 1b/1c: stop tick on idle entry, restart on idle exit."""
+        sim, machine, hv, vm, kernel, done = self.make(TickMode.TICKLESS)
+        programs = vm.counters.by_tag(ExitTag.TIMER_PROGRAM)
+        # ~2 per nap (one stop-and-defer write, one restart write).
+        assert 20 * 1.5 <= programs <= 20 * 2.5 + 4
+
+    def test_paratick_pays_at_most_one_program_per_nap(self):
+        """Fig. 3c/3d: arm at idle entry only when needed and sooner,
+        never touch hardware at idle exit."""
+        sim, machine, hv, vm, kernel, done = self.make(TickMode.PARATICK)
+        programs = vm.counters.by_tag(ExitTag.TIMER_PROGRAM)
+        assert programs <= 20 + 3
+
+    def test_paratick_never_worse_than_tickless(self):
+        """§4.2: 'guaranteed to never induce more timer-related VM exits
+        than tickless kernels'."""
+        *_, vm_nohz, _, _ = self.make(TickMode.TICKLESS)[2:5], None, None
+        sim, machine, hv, vm_nohz, kernel, done = self.make(TickMode.TICKLESS)
+        sim2, machine2, hv2, vm_para, kernel2, done2 = self.make(TickMode.PARATICK)
+        assert vm_para.counters.timer_related <= vm_nohz.counters.timer_related

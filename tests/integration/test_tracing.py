@@ -1,0 +1,115 @@
+"""Trace-sequence assertions: the Fig. 1 / Fig. 3 event orderings.
+
+These tests read the structured trace to check *sequences* — e.g. that
+a tickless idle entry emits a TIMER_PROGRAM exit between the idle-enter
+mark and the HLT exit, while paratick goes straight to HLT — the
+fine-grained claims behind the exit-count deltas.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import TickMode
+from repro.experiments.runner import run_workload
+from repro.hw.interrupts import Vector
+from repro.sim.trace import RingTracer
+from repro.sim.timebase import MSEC
+from repro.workloads.micro import IdlePeriodWorkload, PingPongWorkload
+
+
+def traced_run(mode, workload, **kw):
+    tracer = RingTracer(capacity=200_000)
+    m = run_workload(workload, tick_mode=mode, tracer=tracer, noise=False, **kw)
+    return m, tracer
+
+
+def events_between(records, start_kind, end_kind):
+    """Kinds observed between each start mark and the next end mark."""
+    spans, current = [], None
+    for r in records:
+        if r.kind == start_kind:
+            current = []
+        elif current is not None:
+            if r.kind == end_kind or r.kind == start_kind:
+                spans.append(current)
+                current = [] if r.kind == start_kind else None
+            else:
+                current.append(r)
+    return spans
+
+
+class TestIdleTransitionSequences:
+    def workload(self):
+        return PingPongWorkload(rounds=60, work_cycles=400_000)
+
+    def test_tickless_idle_entries_program_hardware(self):
+        m, tracer = traced_run(TickMode.TICKLESS, self.workload(), seed=1)
+        records = list(tracer.records)
+        idle_enters = [r for r in records if r.kind == "idle_enter"]
+        assert idle_enters, "workload must idle"
+        spans = events_between(records, "idle_enter", "idle_exit")
+        programs = sum(
+            1
+            for span in spans
+            for r in span
+            if r.kind == "vmexit" and r.detail[1] == "timer_program"
+        )
+        # Fig. 1b: a healthy fraction of idle entries touch the MSR.
+        assert programs >= len(spans) * 0.4
+
+    def test_paratick_idle_entries_mostly_silent(self):
+        m, tracer = traced_run(TickMode.PARATICK, self.workload(), seed=1)
+        records = list(tracer.records)
+        spans = events_between(records, "idle_enter", "idle_exit")
+        assert spans
+        programs = sum(
+            1
+            for span in spans
+            for r in span
+            if r.kind == "vmexit" and r.detail[1] == "timer_program"
+        )
+        # Fig. 3c/3d: no tick to stop, nothing to restart; PingPong has
+        # no soft timers pending, so idle entries are hardware-silent.
+        assert programs <= len(spans) * 0.05
+
+    def test_idle_enters_and_exits_alternate(self):
+        m, tracer = traced_run(TickMode.TICKLESS, self.workload(), seed=2)
+        # Per vCPU: an exit can only follow at least one enter; never two
+        # exits in a row (re-entering idle re-marks).
+        depth: dict[str, int] = {}
+        for r in tracer.records:
+            if r.kind == "idle_enter":
+                depth[r.source] = depth.get(r.source, 0) + 1
+            elif r.kind == "idle_exit":
+                assert depth.get(r.source, 0) >= 1, f"{r.source}: idle_exit without idle_enter"
+                depth[r.source] = 0
+
+
+class TestInjectionTraces:
+    def test_paratick_virtual_tick_injected_while_active(self):
+        m, tracer = traced_run(
+            TickMode.PARATICK,
+            IdlePeriodWorkload(2 * MSEC, iterations=40, work_cycles=22_000_000),
+            seed=3,
+        )
+        injected = [
+            r for r in tracer.records
+            if r.kind == "inject" and int(Vector.PARATICK_VIRTUAL_TICK) in r.detail
+        ]
+        assert injected, "active phases must receive vector 235"
+
+    def test_tickless_never_sees_vector_235(self):
+        m, tracer = traced_run(
+            TickMode.TICKLESS,
+            IdlePeriodWorkload(2 * MSEC, iterations=40, work_cycles=22_000_000),
+            seed=3,
+        )
+        for r in tracer.records:
+            if r.kind == "inject":
+                assert int(Vector.PARATICK_VIRTUAL_TICK) not in r.detail
+
+    def test_exit_reasons_traced_match_counters(self):
+        m, tracer = traced_run(TickMode.TICKLESS, PingPongWorkload(rounds=50), seed=4)
+        traced_exits = sum(1 for r in tracer.records if r.kind == "vmexit")
+        assert traced_exits == m.total_exits

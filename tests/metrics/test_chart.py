@@ -1,0 +1,58 @@
+"""Tests for the ASCII figure renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.metrics.chart import bar_chart, comparison_panels
+from repro.metrics.report import Comparison
+
+
+class TestBarChart:
+    def test_scaling_to_peak(self):
+        out = bar_chart(["a", "b"], [-0.5, -0.25], width=20)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 20  # peak fills the width
+        assert lines[1].count("#") == 10
+
+    def test_alignment(self):
+        out = bar_chart(["short", "a-much-longer-label"], [0.1, 0.2])
+        a, b = out.splitlines()
+        assert a.index("|") == b.index("|")
+
+    def test_title_and_format(self):
+        out = bar_chart(["x"], [0.123], title="T", fmt="{:.2f}")
+        assert out.splitlines()[0] == "T"
+        assert "0.12" in out
+
+    def test_zero_values_no_crash(self):
+        out = bar_chart(["x", "y"], [0.0, 0.0])
+        assert "|" in out
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ReproError):
+            bar_chart([], [])
+        with pytest.raises(ReproError):
+            bar_chart(["a"], [1.0], width=2)
+
+
+class TestComparisonPanels:
+    def test_three_panels(self):
+        comps = [Comparison("w1", -0.5, 0.1, -0.02), Comparison("w2", -0.3, 0.2, -0.01)]
+        out = comparison_panels(comps)
+        assert "(a) VM exits" in out
+        assert "(b) system throughput" in out
+        assert "(c) execution time" in out
+        assert out.count("w1") == 3
+
+    def test_custom_titles(self):
+        comps = [Comparison("w", -0.5, 0.1, -0.02)]
+        out = comparison_panels(comps, metric_titles=("A", "B", "C"))
+        assert "A" in out and "C" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            comparison_panels([])

@@ -1,0 +1,239 @@
+"""Tests for the event queue and the simulator core."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.events import EventQueue
+
+
+class TestEventQueue:
+    def test_pop_in_time_order(self):
+        q = EventQueue()
+        fired = []
+        q.push(30, fired.append, (30,))
+        q.push(10, fired.append, (10,))
+        q.push(20, fired.append, (20,))
+        times = []
+        while (ev := q.pop()) is not None:
+            times.append(ev.time)
+        assert times == [10, 20, 30]
+
+    def test_fifo_within_same_instant(self):
+        q = EventQueue()
+        evs = [q.push(5, lambda: None) for _ in range(10)]
+        popped = [q.pop() for _ in range(10)]
+        assert popped == evs
+
+    def test_len_counts_live_only(self):
+        q = EventQueue()
+        ev = q.push(1, lambda: None)
+        q.push(2, lambda: None)
+        assert len(q) == 2
+        ev.cancel()
+        q.notify_cancelled()
+        assert len(q) == 1
+
+    def test_pop_skips_cancelled(self):
+        q = EventQueue()
+        a = q.push(1, lambda: None)
+        b = q.push(2, lambda: None)
+        a.cancel()
+        q.notify_cancelled()
+        assert q.pop() is b
+        assert q.pop() is None
+
+    def test_peek_time_skips_cancelled(self):
+        q = EventQueue()
+        a = q.push(1, lambda: None)
+        q.push(7, lambda: None)
+        a.cancel()
+        q.notify_cancelled()
+        assert q.peek_time() == 7
+
+    def test_compact_drops_dead_entries(self):
+        q = EventQueue()
+        evs = [q.push(i, lambda: None) for i in range(100)]
+        for ev in evs[::2]:
+            ev.cancel()
+            q.notify_cancelled()
+        q.compact()
+        assert len(q._heap) == 50
+        assert q.peek_time() == 1
+
+    @given(times=st.lists(st.integers(min_value=0, max_value=10**6), min_size=1, max_size=200))
+    @settings(max_examples=50)
+    def test_property_pop_is_sorted_and_stable(self, times):
+        q = EventQueue()
+        handles = [q.push(t, lambda: None) for t in times]
+        order = {ev.seq: i for i, ev in enumerate(handles)}
+        out = []
+        while (ev := q.pop()) is not None:
+            out.append(ev)
+        # Sorted by time; ties in insertion order.
+        keys = [(ev.time, order[ev.seq]) for ev in out]
+        assert keys == sorted(keys)
+        assert len(out) == len(times)
+
+
+class TestSimulatorScheduling:
+    def test_now_starts_at_zero(self):
+        assert Simulator().now == 0
+
+    def test_schedule_and_run(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(100, fired.append, "a")
+        sim.schedule(50, fired.append, "b")
+        sim.run()
+        assert fired == ["b", "a"]
+        assert sim.now == 100
+
+    def test_run_until_stops_clock_at_horizon(self):
+        sim = Simulator()
+        sim.schedule(10, lambda: None)
+        end = sim.run(until=500)
+        assert end == 500
+        assert sim.now == 500
+
+    def test_events_at_horizon_fire(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(500, fired.append, 1)
+        sim.schedule(501, fired.append, 2)
+        sim.run(until=500)
+        assert fired == [1]
+        assert sim.pending_events() == 1
+
+    def test_schedule_in_past_raises(self):
+        sim = Simulator()
+        sim.schedule(10, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.at(5, lambda: None)
+
+    def test_negative_delay_raises(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1, lambda: None)
+
+    def test_zero_delay_fires_after_current_callback(self):
+        sim = Simulator()
+        order = []
+
+        def outer():
+            order.append("outer")
+            sim.schedule(0, order.append, "inner")
+
+        sim.schedule(5, outer)
+        sim.schedule(5, order.append, "peer")
+        sim.run()
+        assert order == ["outer", "peer", "inner"]
+
+    def test_cancel_prevents_firing(self):
+        sim = Simulator()
+        fired = []
+        ev = sim.schedule(10, fired.append, 1)
+        sim.cancel(ev)
+        sim.run()
+        assert fired == []
+        assert sim.pending_events() == 0
+
+    def test_cancel_none_and_dead_is_noop(self):
+        sim = Simulator()
+        sim.cancel(None)
+        ev = sim.schedule(1, lambda: None)
+        sim.run()
+        sim.cancel(ev)  # already fired
+        sim.cancel(ev)
+
+    def test_stop_ends_run_early(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10, lambda: (fired.append(1), sim.stop()))
+        sim.schedule(20, fired.append, 2)
+        sim.run()
+        assert fired == [1]
+        assert sim.now == 10
+        # A later run picks up the remaining event.
+        sim.run()
+        assert fired == [1, 2]
+
+    def test_run_is_not_reentrant(self):
+        sim = Simulator()
+        caught = []
+
+        def reenter():
+            try:
+                sim.run()
+            except SimulationError as e:
+                caught.append(e)
+
+        sim.schedule(1, reenter)
+        sim.run()
+        assert len(caught) == 1
+
+    def test_run_until_past_raises(self):
+        sim = Simulator()
+        sim.schedule(10, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.run(until=5)
+
+    def test_dispatched_counter(self):
+        sim = Simulator()
+        for i in range(7):
+            sim.schedule(i, lambda: None)
+        sim.run()
+        assert sim.dispatched == 7
+
+    def test_callbacks_can_chain(self):
+        """A self-rescheduling callback models a periodic timer."""
+        sim = Simulator()
+        ticks = []
+
+        def tick():
+            ticks.append(sim.now)
+            if len(ticks) < 5:
+                sim.schedule(100, tick)
+
+        sim.schedule(100, tick)
+        sim.run()
+        assert ticks == [100, 200, 300, 400, 500]
+
+    @given(delays=st.lists(st.integers(min_value=0, max_value=10**6), min_size=1, max_size=100))
+    @settings(max_examples=50)
+    def test_property_clock_is_monotonic(self, delays):
+        sim = Simulator()
+        seen = []
+        for d in delays:
+            sim.schedule(d, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == sorted(seen)
+        assert sim.now == max(delays)
+
+
+class TestDeterminism:
+    def test_same_seed_same_draws(self):
+        a, b = Simulator(seed=42), Simulator(seed=42)
+        xa = [a.rng.exponential_ns("dev", 1000.0) for _ in range(100)]
+        xb = [b.rng.exponential_ns("dev", 1000.0) for _ in range(100)]
+        assert xa == xb
+
+    def test_different_seed_differs(self):
+        a, b = Simulator(seed=1), Simulator(seed=2)
+        xa = [a.rng.exponential_ns("dev", 1000.0) for _ in range(20)]
+        xb = [b.rng.exponential_ns("dev", 1000.0) for _ in range(20)]
+        assert xa != xb
+
+    def test_streams_are_independent_of_creation_order(self):
+        a, b = Simulator(seed=7), Simulator(seed=7)
+        # Touch streams in different orders; each named stream must be equal.
+        a1 = a.rng.stream("one").integers(0, 1000, size=10).tolist()
+        a2 = a.rng.stream("two").integers(0, 1000, size=10).tolist()
+        b2 = b.rng.stream("two").integers(0, 1000, size=10).tolist()
+        b1 = b.rng.stream("one").integers(0, 1000, size=10).tolist()
+        assert a1 == b1
+        assert a2 == b2

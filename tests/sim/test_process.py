@@ -1,0 +1,234 @@
+"""Tests for the generator-process layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.process import TIMED_OUT, Delay, Signal, WaitSignal, every, spawn
+
+
+class TestDelay:
+    def test_sequential_delays(self):
+        sim = Simulator()
+        marks = []
+
+        def body():
+            marks.append(sim.now)
+            yield Delay(100)
+            marks.append(sim.now)
+            yield Delay(250)
+            marks.append(sim.now)
+
+        spawn(sim, body())
+        sim.run()
+        assert marks == [0, 100, 350]
+
+    def test_body_does_not_run_before_spawn_returns(self):
+        sim = Simulator()
+        marks = []
+
+        def body():
+            marks.append("ran")
+            yield Delay(1)
+
+        spawn(sim, body())
+        assert marks == []  # nothing until the engine runs
+        sim.run()
+        assert marks == ["ran"]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Delay(-5)
+
+    def test_return_value_captured(self):
+        sim = Simulator()
+
+        def body():
+            yield Delay(10)
+            return 42
+
+        p = spawn(sim, body())
+        sim.run()
+        assert p.finished and p.result == 42
+
+
+class TestSignals:
+    def test_wait_and_fire(self):
+        sim = Simulator()
+        sig = Signal("s")
+        got = []
+
+        def waiter():
+            value = yield WaitSignal(sig)
+            got.append((sim.now, value))
+
+        spawn(sim, waiter())
+        sim.schedule(500, sig.fire, "hello")
+        sim.run()
+        assert got == [(500, "hello")]
+
+    def test_bare_signal_yield_is_wait(self):
+        sim = Simulator()
+        sig = Signal()
+        got = []
+
+        def waiter():
+            value = yield sig
+            got.append(value)
+
+        spawn(sim, waiter())
+        sim.schedule(5, sig.fire, 7)
+        sim.run()
+        assert got == [7]
+
+    def test_fire_wakes_all_waiters_in_order(self):
+        sim = Simulator()
+        sig = Signal()
+        woke = []
+
+        def waiter(i):
+            yield WaitSignal(sig)
+            woke.append(i)
+
+        for i in range(5):
+            spawn(sim, waiter(i))
+        sim.schedule(10, sig.fire)
+        sim.run()
+        assert woke == [0, 1, 2, 3, 4]
+
+    def test_signal_reusable_across_fires(self):
+        sim = Simulator()
+        sig = Signal()
+        woke = []
+
+        def waiter():
+            yield WaitSignal(sig)
+            woke.append(sim.now)
+            yield WaitSignal(sig)
+            woke.append(sim.now)
+
+        spawn(sim, waiter())
+        sim.schedule(10, sig.fire)
+        sim.schedule(20, sig.fire)
+        sim.run()
+        assert woke == [10, 20]
+
+    def test_fire_returns_waiter_count(self):
+        sim = Simulator()
+        sig = Signal()
+
+        def waiter():
+            yield WaitSignal(sig)
+
+        spawn(sim, waiter())
+        spawn(sim, waiter())
+        counts = []
+        sim.schedule(10, lambda: counts.append(sig.fire()))
+        sim.run()
+        assert counts == [2]
+
+    def test_timeout_returns_sentinel(self):
+        sim = Simulator()
+        sig = Signal()
+        got = []
+
+        def waiter():
+            value = yield WaitSignal(sig, timeout_ns=100)
+            got.append((sim.now, value))
+
+        spawn(sim, waiter())
+        sim.run()
+        assert got == [(100, TIMED_OUT)]
+        assert sig.waiter_count == 0  # waiter removed on timeout
+
+    def test_fire_before_timeout_cancels_timeout(self):
+        sim = Simulator()
+        sig = Signal()
+        got = []
+
+        def waiter():
+            value = yield WaitSignal(sig, timeout_ns=100)
+            got.append((sim.now, value))
+            yield Delay(1000)
+
+        spawn(sim, waiter())
+        sim.schedule(50, sig.fire, "v")
+        sim.run()
+        assert got == [(50, "v")]
+
+    def test_done_signal_fires_with_result(self):
+        sim = Simulator()
+        results = []
+
+        def child():
+            yield Delay(30)
+            return "done!"
+
+        def parent():
+            p = spawn(sim, child())
+            value = yield WaitSignal(p.done_signal)
+            results.append((sim.now, value))
+
+        spawn(sim, parent())
+        sim.run()
+        assert results == [(30, "done!")]
+
+
+class TestKillAndErrors:
+    def test_kill_stops_body(self):
+        sim = Simulator()
+        marks = []
+
+        def body():
+            yield Delay(100)
+            marks.append("should not run")
+
+        p = spawn(sim, body())
+        sim.schedule(50, p.kill)
+        sim.run()
+        assert marks == []
+        assert p.finished
+
+    def test_kill_removes_signal_waiter(self):
+        sim = Simulator()
+        sig = Signal()
+
+        def body():
+            yield WaitSignal(sig)
+
+        p = spawn(sim, body())
+        sim.schedule(10, p.kill)
+        sim.run()
+        assert sig.waiter_count == 0
+
+    def test_unknown_yield_raises(self):
+        sim = Simulator()
+
+        def body():
+            yield "nonsense"
+
+        spawn(sim, body())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+class TestEvery:
+    def test_periodic_calls(self):
+        sim = Simulator()
+        marks = []
+        every(sim, 100, lambda: marks.append(sim.now))
+        sim.run(until=550)
+        assert marks == [100, 200, 300, 400, 500]
+
+    def test_start_offset(self):
+        sim = Simulator()
+        marks = []
+        every(sim, 100, lambda: marks.append(sim.now), start_after_ns=30)
+        sim.run(until=350)
+        assert marks == [30, 130, 230, 330]
+
+    def test_nonpositive_period_rejected(self):
+        with pytest.raises(SimulationError):
+            every(Simulator(), 0, lambda: None)

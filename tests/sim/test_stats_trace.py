@@ -1,0 +1,143 @@
+"""Tests for online statistics, histograms and tracing."""
+
+from __future__ import annotations
+
+import math
+import statistics
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.stats import Histogram, OnlineStats, geomean
+from repro.sim.trace import CallbackTracer, NullTracer, RingTracer
+
+
+class TestOnlineStats:
+    def test_empty(self):
+        s = OnlineStats()
+        assert s.n == 0
+        assert math.isnan(s.mean)
+        assert math.isnan(s.variance)
+
+    def test_single_sample(self):
+        s = OnlineStats()
+        s.add(5.0)
+        assert s.mean == 5.0
+        assert math.isnan(s.variance)
+        assert s.min == s.max == 5.0
+
+    def test_matches_statistics_module(self):
+        xs = [3.0, 1.5, 7.25, -2.0, 4.0, 4.0]
+        s = OnlineStats()
+        s.add_many(xs)
+        assert s.mean == pytest.approx(statistics.fmean(xs))
+        assert s.variance == pytest.approx(statistics.variance(xs))
+        assert s.stdev == pytest.approx(statistics.stdev(xs))
+        assert s.min == min(xs) and s.max == max(xs)
+        assert s.total == pytest.approx(sum(xs))
+
+    @given(xs=st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=2, max_size=300))
+    @settings(max_examples=50)
+    def test_property_welford_matches_two_pass(self, xs):
+        s = OnlineStats()
+        s.add_many(xs)
+        assert s.mean == pytest.approx(statistics.fmean(xs), abs=1e-6)
+        assert s.variance == pytest.approx(statistics.variance(xs), rel=1e-6, abs=1e-6)
+
+    @given(
+        xs=st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=100),
+        ys=st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=100),
+    )
+    @settings(max_examples=50)
+    def test_property_merge_equals_concat(self, xs, ys):
+        a, b, c = OnlineStats(), OnlineStats(), OnlineStats()
+        a.add_many(xs)
+        b.add_many(ys)
+        c.add_many(xs + ys)
+        m = a.merge(b)
+        assert m.n == c.n
+        assert m.mean == pytest.approx(c.mean, abs=1e-6)
+        assert m.variance == pytest.approx(c.variance, rel=1e-5, abs=1e-5)
+        assert m.min == c.min and m.max == c.max
+
+    def test_merge_with_empty(self):
+        a, b = OnlineStats(), OnlineStats()
+        a.add(1.0)
+        m1, m2 = a.merge(b), b.merge(a)
+        assert m1.n == m2.n == 1
+        assert m1.mean == m2.mean == 1.0
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        h = Histogram()
+        for x in (0, 1, 2, 3, 4, 7, 8, 1023, 1024):
+            h.add(x)
+        nz = dict(h.nonzero())
+        assert nz[0] == 2  # 0 and 1
+        assert nz[2] == 2  # 2, 3
+        assert nz[4] == 2  # 4, 7
+        assert nz[8] == 1
+        assert nz[512] == 1  # 1023
+        assert nz[1024] == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram().add(-1)
+
+    def test_quantile_bounds(self):
+        h = Histogram()
+        for _ in range(90):
+            h.add(10)
+        for _ in range(10):
+            h.add(10_000)
+        assert h.quantile(0.5) == 15  # bucket [8,16)
+        assert h.quantile(0.99) == 16383  # bucket [8192,16384)
+
+    def test_quantile_empty_and_range(self):
+        h = Histogram()
+        assert h.quantile(0.5) == 0
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([1, 100]) == pytest.approx(10.0)
+        assert geomean([2, 2, 2]) == pytest.approx(2.0)
+
+    def test_empty_is_nan(self):
+        assert math.isnan(geomean([]))
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+
+class TestTracers:
+    def test_null_tracer_disabled(self):
+        t = NullTracer()
+        assert not t.enabled
+        t.emit(0, "x", "y")  # must not raise
+
+    def test_ring_tracer_retains_and_filters(self):
+        t = RingTracer(capacity=3, kinds={"keep"})
+        for i in range(5):
+            t.emit(i, "src", "keep", i)
+        t.emit(99, "src", "drop")
+        assert t.offered == 6
+        assert [r.detail for r in t.records] == [2, 3, 4]
+        assert [r.time for r in t.of_kind("keep")] == [2, 3, 4]
+        assert t.kinds() == {"keep": 3}
+
+    def test_ring_tracer_capacity_positive(self):
+        with pytest.raises(ValueError):
+            RingTracer(capacity=0)
+
+    def test_callback_tracer(self):
+        got = []
+        t = CallbackTracer(got.append)
+        t.emit(5, "src", "kind", "d")
+        assert len(got) == 1
+        assert got[0].time == 5 and got[0].kind == "kind"
+        assert "kind" in str(got[0])

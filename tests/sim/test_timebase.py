@@ -1,0 +1,106 @@
+"""Unit and property tests for repro.sim.timebase."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigError
+from repro.sim.timebase import MSEC, NSEC, SEC, USEC, CpuClock, fmt_time, hz_to_period_ns
+
+
+class TestUnits:
+    def test_unit_ratios(self):
+        assert USEC == 1000 * NSEC
+        assert MSEC == 1000 * USEC
+        assert SEC == 1000 * MSEC
+
+    def test_hz_to_period_250(self):
+        assert hz_to_period_ns(250) == 4 * MSEC
+
+    def test_hz_to_period_1000(self):
+        assert hz_to_period_ns(1000) == MSEC
+
+    def test_hz_to_period_rounds(self):
+        # 3 Hz -> 333333333.33 ns, rounds to nearest.
+        assert hz_to_period_ns(3) == 333333333
+
+    def test_hz_to_period_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            hz_to_period_ns(0)
+        with pytest.raises(ConfigError):
+            hz_to_period_ns(-5)
+
+    def test_huge_frequency_clamps_to_one_ns(self):
+        assert hz_to_period_ns(10 * SEC) == 1
+
+
+class TestFmtTime:
+    @pytest.mark.parametrize(
+        "ns,expect",
+        [
+            (0, "0ns"),
+            (999, "999ns"),
+            (1000, "1.000us"),
+            (2_500_000, "2.500ms"),
+            (3 * SEC, "3.000s"),
+            (-1500, "-1.500us"),
+        ],
+    )
+    def test_examples(self, ns, expect):
+        assert fmt_time(ns) == expect
+
+
+class TestCpuClock:
+    def test_rejects_nonpositive_freq(self):
+        with pytest.raises(ConfigError):
+            CpuClock(0)
+
+    def test_cycles_to_ns_at_1ghz(self):
+        clk = CpuClock(10**9)
+        assert clk.cycles_to_ns(1) == 1
+        assert clk.cycles_to_ns(1000) == 1000
+
+    def test_cycles_to_ns_rounds_up(self):
+        clk = CpuClock(2_200_000_000)
+        # 1 cycle at 2.2 GHz is 0.4545ns -> must round up to 1ns.
+        assert clk.cycles_to_ns(1) == 1
+        # 11 cycles = 5ns exactly.
+        assert clk.cycles_to_ns(11) == 5
+
+    def test_zero_cycles_is_zero_ns(self):
+        assert CpuClock(2_200_000_000).cycles_to_ns(0) == 0
+
+    def test_negative_rejected(self):
+        clk = CpuClock(10**9)
+        with pytest.raises(ValueError):
+            clk.cycles_to_ns(-1)
+        with pytest.raises(ValueError):
+            clk.ns_to_cycles(-1)
+
+    def test_roundtrip_at_integer_ghz(self):
+        clk = CpuClock(2 * 10**9)
+        for cycles in (2, 1000, 123456):
+            assert clk.ns_to_cycles(clk.cycles_to_ns(cycles)) == cycles
+
+    def test_ghz_property(self):
+        assert CpuClock(2_200_000_000).ghz == pytest.approx(2.2)
+
+    @given(cycles=st.integers(min_value=1, max_value=10**12), freq=st.integers(min_value=10**6, max_value=10**10))
+    def test_property_positive_work_takes_time(self, cycles, freq):
+        assert CpuClock(freq).cycles_to_ns(cycles) >= 1
+
+    @given(cycles=st.integers(min_value=0, max_value=10**12))
+    def test_property_ceiling_bound(self, cycles):
+        clk = CpuClock(2_200_000_000)
+        ns = clk.cycles_to_ns(cycles)
+        # ns is the smallest integer duration covering the cycles.
+        assert ns * clk.freq_hz >= cycles * SEC or cycles == 0
+        if ns > 1:
+            assert (ns - 1) * clk.freq_hz < cycles * SEC
+
+    @given(a=st.integers(min_value=0, max_value=10**9), b=st.integers(min_value=0, max_value=10**9))
+    def test_property_monotonic(self, a, b):
+        clk = CpuClock(2_200_000_000)
+        if a <= b:
+            assert clk.cycles_to_ns(a) <= clk.cycles_to_ns(b)

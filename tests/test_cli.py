@@ -1,0 +1,55 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_subcommands_exist(self):
+        p = build_parser()
+        for cmd in (["table1"], ["table2"], ["table3"], ["table4"], ["ablations"], ["run", "dedup"]):
+            args = p.parse_args(cmd)
+            assert callable(args.fn)
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "doom"])
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "40,000" in out and "240,000" in out
+        assert "NO" not in out  # every row matches the paper
+
+    def test_run_single_benchmark(self, capsys):
+        assert main(["run", "swaptions", "--mode", "paratick", "--target-mcycles", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "exits=" in out and "exec=" in out
+
+    def test_run_tickless_mode(self, capsys):
+        assert main(["run", "swaptions", "--mode", "tickless", "--target-mcycles", "30"]) == 0
+        assert "timer" in capsys.readouterr().out
+
+    def test_seed_flag(self, capsys):
+        assert main(["--seed", "9", "run", "swaptions", "--target-mcycles", "30"]) == 0
+
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fluidanimate" in out and "netserve" in out
+
+    def test_export_fig6(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["export", "fig6", "--out", "figs"]) == 0
+        out = capsys.readouterr().out
+        assert "fig6_fio.csv" in out
+        assert (tmp_path / "figs" / "fig6_fio.csv").exists()

@@ -1,0 +1,84 @@
+"""Tests for the configuration layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    HostFeatures,
+    IoDeviceKind,
+    MachineSpec,
+    ScenarioConfig,
+    TickMode,
+    VmSpec,
+)
+from repro.errors import ConfigError
+
+
+class TestVmSpec:
+    def test_defaults(self):
+        vm = VmSpec()
+        assert vm.tick_mode is TickMode.TICKLESS
+        assert vm.tick_hz == 250
+        assert vm.tick_period_ns == 4_000_000
+
+    def test_pinning_length_checked(self):
+        with pytest.raises(ConfigError):
+            VmSpec(vcpus=2, pinned_cpus=(0,))
+
+    @pytest.mark.parametrize("kw", [{"vcpus": 0}, {"tick_hz": 0}])
+    def test_invalid(self, kw):
+        with pytest.raises(ConfigError):
+            VmSpec(**kw)
+
+
+class TestHostFeatures:
+    def test_defaults_match_paper_eval(self):
+        """§6: PLE and halt polling disabled."""
+        f = HostFeatures()
+        assert f.halt_poll_ns == 0
+        assert f.ple is False
+        assert f.posted_interrupts is False
+        assert f.paratick_last_tick_heuristic is True
+
+    def test_negative_poll_rejected(self):
+        with pytest.raises(ConfigError):
+            HostFeatures(halt_poll_ns=-1)
+
+
+class TestScenarioConfig:
+    def test_valid_default(self):
+        sc = ScenarioConfig()
+        assert len(sc.vms) == 1
+
+    def test_duplicate_vm_names_rejected(self):
+        with pytest.raises(ConfigError):
+            ScenarioConfig(vms=(VmSpec(name="a"), VmSpec(name="a")))
+
+    def test_conflicting_pins_rejected(self):
+        with pytest.raises(ConfigError):
+            ScenarioConfig(
+                vms=(
+                    VmSpec(name="a", pinned_cpus=(0,)),
+                    VmSpec(name="b", pinned_cpus=(0,)),
+                )
+            )
+
+    def test_pin_out_of_machine_rejected(self):
+        with pytest.raises(ConfigError):
+            ScenarioConfig(
+                machine=MachineSpec(sockets=1, cpus_per_socket=1),
+                vms=(VmSpec(name="a", pinned_cpus=(5,)),),
+            )
+
+    def test_empty_vms_rejected(self):
+        with pytest.raises(ConfigError):
+            ScenarioConfig(vms=())
+
+
+class TestEnums:
+    def test_tick_modes(self):
+        assert {m.value for m in TickMode} == {"periodic", "tickless", "paratick"}
+
+    def test_device_kinds(self):
+        assert {k.value for k in IoDeviceKind} == {"hdd", "sata-ssd", "nvme-ssd"}

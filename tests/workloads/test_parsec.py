@@ -1,0 +1,92 @@
+"""Tests for the PARSEC workload models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import TickMode
+from repro.errors import WorkloadError
+from repro.experiments.runner import run_workload
+from repro.workloads import parsec
+
+
+class TestProfiles:
+    def test_thirteen_benchmarks(self):
+        """§6.1: 'This benchmark suite contains 13 varied, realistic
+        computation-intensive workloads.'"""
+        assert len(parsec.BENCHMARK_NAMES) == 13
+
+    def test_known_names(self):
+        for name in ("blackscholes", "dedup", "fluidanimate", "streamcluster", "x264"):
+            assert name in parsec.BENCHMARK_NAMES
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(WorkloadError):
+            parsec.profile("quake3")
+        with pytest.raises(WorkloadError):
+            parsec.benchmark("quake3")
+
+    def test_sync_kinds_are_valid(self):
+        for p in parsec.PROFILES.values():
+            assert p.sync_kind in ("barrier", "lock", "pipeline", "none")
+
+    def test_step_cycles_inverse_of_sync_rate(self):
+        p = parsec.profile("streamcluster")
+        assert p.step_cycles() == int(parsec.NOMINAL_HZ / p.sync_hz)
+
+    def test_swaptions_is_unsynchronized(self):
+        assert parsec.profile("swaptions").sync_kind == "none"
+
+    def test_invalid_construction(self):
+        with pytest.raises(WorkloadError):
+            parsec.ParsecWorkload("dedup", threads=0)
+        with pytest.raises(WorkloadError):
+            parsec.ParsecWorkload("dedup", target_cycles=0)
+
+    def test_io_device_only_when_profile_reads(self):
+        assert parsec.benchmark("dedup").io_device is not None
+        assert parsec.benchmark("swaptions").io_device is None
+
+
+class TestExecution:
+    @pytest.mark.parametrize("bench", ["blackscholes", "fluidanimate", "dedup", "swaptions"])
+    def test_each_sync_kind_completes_parallel(self, bench):
+        """One representative of each sync kind runs to completion."""
+        wl = parsec.benchmark(bench, threads=4, target_cycles=30_000_000)
+        m = run_workload(wl, tick_mode=TickMode.TICKLESS, seed=1)
+        assert m.exec_time_ns > 0
+        assert m.useful_cycles > 4 * 20_000_000  # most of the work budget
+
+    def test_sequential_completes(self):
+        m = run_workload(parsec.benchmark("canneal", target_cycles=50_000_000), seed=2)
+        assert m.exec_time_ns > 20_000_000  # at least the raw compute time
+
+    def test_same_seed_reproduces_exactly(self):
+        def once():
+            m = run_workload(
+                parsec.benchmark("streamcluster", threads=4, target_cycles=40_000_000), seed=11
+            )
+            return (m.exec_time_ns, m.total_exits, m.total_cycles)
+
+        assert once() == once()
+
+    def test_different_seeds_differ(self):
+        def once(seed):
+            m = run_workload(
+                parsec.benchmark("streamcluster", threads=4, target_cycles=40_000_000), seed=seed
+            )
+            return (m.exec_time_ns, m.total_exits)
+
+        assert once(1) != once(2)
+
+    def test_higher_sync_rate_means_more_exits(self):
+        """The §3.2 mechanism: blocking rate drives tickless exits."""
+        lo = run_workload(parsec.benchmark("freqmine", threads=4, target_cycles=60_000_000), seed=3)
+        hi = run_workload(parsec.benchmark("streamcluster", threads=4, target_cycles=60_000_000), seed=3)
+        assert hi.exits_per_second() > lo.exits_per_second()
+
+    def test_pipeline_all_items_flow(self):
+        """Pipeline stages process every item (no deadlock, no loss)."""
+        wl = parsec.benchmark("dedup", threads=4, target_cycles=40_000_000)
+        m = run_workload(wl, seed=4)
+        assert m.exec_time_ns > 0  # run_workload raises if incomplete
