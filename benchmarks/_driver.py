@@ -1,0 +1,35 @@
+"""Shared plumbing for the benchmark script drivers.
+
+Every ``bench_*.py`` doubles as a standalone script routed through the
+parallel experiment engine; this module keeps their argparse surface and
+cache-stat reporting identical.
+"""
+
+from __future__ import annotations
+
+import argparse
+from collections import Counter
+
+
+def grid_arg_parser(doc: str | None = None) -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(
+        description=doc, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    ap.add_argument("--jobs", type=int, default=1, metavar="N",
+                    help="worker processes for independent grid cells")
+    ap.add_argument("--no-cache", action="store_true",
+                    help="ignore and do not write the on-disk result cache")
+    ap.add_argument("--cache-dir", default=None, metavar="DIR",
+                    help="result cache location (default: $REPRO_CACHE_DIR or .repro-cache)")
+    ap.add_argument("--seed", type=int, default=0, help="root RNG seed")
+    return ap
+
+
+def report_grid(stats: Counter, *, jobs: int | None, elapsed: float | None = None) -> int:
+    """Print the cache/execute tally; exit status 1 if any cell failed."""
+    total = stats["cached"] + stats["ran"]
+    timing = f", {elapsed:.2f}s" if elapsed is not None else ""
+    print(f"\ngrid: {stats['cached']}/{total} cells from cache, "
+          f"{stats['ran']} executed, {stats['failed']} failed "
+          f"(jobs={jobs}{timing})")
+    return 1 if stats["failed"] else 0

@@ -4,13 +4,17 @@ Usage::
 
     python -m repro table1
     python -m repro table2            # Fig. 4 + Table 2 (sequential PARSEC)
-    python -m repro table3 --size medium
+    python -m repro --jobs 4 table3 --size medium
     python -m repro table4            # Fig. 6 + Table 4 (fio)
     python -m repro run streamcluster --threads 16 --mode paratick
-    python -m repro ablations
+    python -m repro --jobs 4 ablations
 
 The heavy sweeps accept ``--quick`` to shrink the work budget (same
-relative results, less wall-clock).
+relative results, less wall-clock). ``--jobs N`` fans independent grid
+cells out over N worker processes; results are cached on disk
+(``.repro-cache/`` by default) so a repeated sweep only executes cells
+whose spec changed — ``--no-cache`` forces re-execution and
+``--cache-dir`` relocates the store.
 """
 
 from __future__ import annotations
@@ -25,13 +29,39 @@ from repro.metrics.report import format_table
 from repro.workloads import parsec
 
 
+def _engine_kwargs(args) -> dict:
+    """Engine options shared by every grid-backed command."""
+    return {
+        "jobs": args.jobs,
+        "cache_dir": args.cache_dir,
+        "use_cache": not args.no_cache,
+        "progress": _progress_printer(args),
+    }
+
+
+def _progress_printer(args):
+    """Per-cell progress lines on stderr (the CLI's progress callback)."""
+    if args.quiet_progress:
+        return None
+
+    def cb(event) -> None:
+        detail = f" ({event.error})" if event.error else ""
+        print(
+            f"[{event.done}/{event.total}] {event.status:<6} "
+            f"{event.spec.display_label()}{detail}",
+            file=sys.stderr,
+        )
+
+    return cb
+
+
 def _cmd_table1(args) -> int:
     from repro.experiments import table1
 
     print(table1.render())
     if args.simulate:
         print("\nSimulated cross-check (exits/s at 250 Hz, 16 vCPUs):")
-        for name, modes in table1.simulated_cross_check().items():
+        for name, modes in table1.simulated_cross_check(**_engine_kwargs(args)).items():
             print(f"  {name}: " + ", ".join(f"{m}={v:,.0f}" for m, v in modes.items()))
     return 0
 
@@ -40,7 +70,7 @@ def _cmd_table2(args) -> int:
     from repro.experiments import table2_fig4
 
     budget = 120_000_000 if args.quick else 300_000_000
-    result = table2_fig4.run(target_cycles=budget, seed=args.seed)
+    result = table2_fig4.run(target_cycles=budget, seed=args.seed, **_engine_kwargs(args))
     print(result.render())
     if args.chart:
         from repro.metrics.chart import comparison_panels
@@ -57,7 +87,10 @@ def _cmd_table3(args) -> int:
     benches = tuple(args.bench) if args.bench else parsec.BENCHMARK_NAMES
     for size in sizes:
         budget = None if not args.quick else max(20_000_000, (table3_fig5.DEFAULT_BUDGETS[size.name] // 3))
-        result = table3_fig5.run_size(size, benches=benches, target_cycles=budget, seed=args.seed)
+        result = table3_fig5.run_size(
+            size, benches=benches, target_cycles=budget, seed=args.seed,
+            **_engine_kwargs(args),
+        )
         print(result.render())
         if args.chart:
             from repro.metrics.chart import comparison_panels
@@ -74,7 +107,9 @@ def _cmd_table4(args) -> int:
 
     total = (4 << 20) if args.quick else (16 << 20)
     sizes = BLOCK_SIZES[:2] if args.quick else BLOCK_SIZES
-    result = table4_fig6.run(total_bytes=total, block_sizes=sizes, seed=args.seed)
+    result = table4_fig6.run(
+        total_bytes=total, block_sizes=sizes, seed=args.seed, **_engine_kwargs(args)
+    )
     print(result.render())
     if args.chart:
         from repro.metrics.chart import comparison_panels
@@ -90,21 +125,25 @@ def _cmd_table4(args) -> int:
 def _cmd_ablations(args) -> int:
     from repro.experiments import ablations
 
-    rows = [ablations.ablate_keep_timer(seed=args.seed), ablations.ablate_last_tick_heuristic(seed=args.seed)]
+    engine = _engine_kwargs(args)
+    rows = [
+        ablations.ablate_keep_timer(seed=args.seed, **engine),
+        ablations.ablate_last_tick_heuristic(seed=args.seed, **engine),
+    ]
     print(format_table(
         ["heuristic disabled", "exits", "vs paratick default"],
         [(r.name, f"{r.variant_exits:,}", f"{r.exit_delta:+.1%}") for r in rows],
         title="Paratick design-choice ablations",
     ))
     print()
-    hp = ablations.ablate_halt_polling(seed=args.seed)
+    hp = ablations.ablate_halt_polling(seed=args.seed, **engine)
     print(format_table(
         ["halt_poll_ns", "exec time (ms)", "total cycles (M)"],
         [(f"{r.poll_ns:,}", f"{r.exec_time_ns / 1e6:.2f}", f"{r.total_cycles / 1e6:.0f}") for r in hp],
         title="Halt polling (why §6 disables it)",
     ))
     print()
-    mm = ablations.ablate_frequency_mismatch(seed=args.seed)
+    mm = ablations.ablate_frequency_mismatch(seed=args.seed, **engine)
     print(format_table(
         ["host Hz", "guest Hz", "rate adapt", "ticks delivered/s", "total exits"],
         [(r.host_hz, r.guest_hz, "on" if r.rate_adapt else "off",
@@ -112,14 +151,14 @@ def _cmd_ablations(args) -> int:
         title="Host/guest tick-frequency mismatch (§4.1) and the backstop",
     ))
     print()
-    eoi = ablations.ablate_virtual_eoi(seed=args.seed)
+    eoi = ablations.ablate_virtual_eoi(seed=args.seed, **engine)
     print(format_table(
         ["virtual EOI (APICv)", "paratick exit reduction", "baseline exits"],
         [("on" if r.virtual_eoi else "off (traps)", f"{r.exit_reduction:+.1%}", f"{r.base_exits:,}") for r in eoi],
         title="EOI virtualization sensitivity",
     ))
     print()
-    est, crossover, base, para = ablations.ablate_did(seed=args.seed)
+    est, crossover, base, para = ablations.ablate_did(seed=args.seed, **engine)
     print("DID comparison (§7): "
           f"throughput {est.throughput:+.1%} (net of dedicated core) vs "
           f"{est.throughput_without_core_loss:+.1%} gross; "
@@ -188,6 +227,14 @@ def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(prog="paratick-repro", description=__doc__,
                                 formatter_class=argparse.RawDescriptionHelpFormatter)
     p.add_argument("--seed", type=int, default=0, help="root RNG seed")
+    p.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="run independent grid cells across N worker processes")
+    p.add_argument("--no-cache", action="store_true",
+                   help="ignore and do not write the on-disk result cache")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="result cache location (default: $REPRO_CACHE_DIR or .repro-cache)")
+    p.add_argument("--quiet-progress", action="store_true",
+                   help="suppress per-cell grid progress lines on stderr")
     sub = p.add_subparsers(dest="command", required=True)
 
     t1 = sub.add_parser("table1", help="Table 1: periodic vs tickless exit counts")

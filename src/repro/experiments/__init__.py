@@ -1,10 +1,25 @@
 """Experiment runners: one module per paper table/figure, plus scenario
-helpers, the A/B comparison driver and the ablation suite."""
+helpers, the A/B comparison driver, the parallel grid engine and the
+ablation suite."""
 
+from repro.experiments.parallel import (
+    GridResult,
+    RunSpec,
+    WorkloadSpec,
+    run_grid,
+)
 from repro.experiments.runner import (
     run_comparison,
     run_replicated_comparison,
     run_workload,
 )
 
-__all__ = ["run_workload", "run_comparison", "run_replicated_comparison"]
+__all__ = [
+    "run_workload",
+    "run_comparison",
+    "run_replicated_comparison",
+    "RunSpec",
+    "WorkloadSpec",
+    "GridResult",
+    "run_grid",
+]

@@ -14,6 +14,11 @@
    accuracy when the host tick is not a multiple of the guest's.
 5. **DID comparison** (§7) — Direct Interrupt Delivery removes even the
    host-tick exits but dedicates a core; crossover vs paratick.
+
+Every study is a small grid of :class:`~repro.experiments.parallel.RunSpec`
+cells executed through the parallel experiment engine, so ``jobs=N``
+fans the variants out over worker processes and the result cache makes
+re-running an ablation after a code change incremental.
 """
 
 from __future__ import annotations
@@ -24,12 +29,10 @@ from dataclasses import dataclass
 from repro.config import HostFeatures, MachineSpec, TickMode
 from repro.core.did import DidEstimate, crossover_cpus, estimate_did
 from repro.core.paratick_guest import ParatickPolicy
-from repro.experiments.runner import run_workload
+from repro.experiments.parallel import RunSpec, WorkloadSpec, run_grid
 from repro.host.costs import DEFAULT_COSTS
 from repro.metrics.perf import RunMetrics
-from repro.sim.timebase import SEC
-from repro.workloads.micro import SyncStormWorkload
-from repro.workloads.parsec import benchmark
+from repro.sim.timebase import MSEC, SEC
 
 
 @contextlib.contextmanager
@@ -43,6 +46,12 @@ def keep_timer_heuristic(enabled: bool):
         ParatickPolicy.keep_timer_on_idle_exit = prev
 
 
+def _grid(specs, *, jobs=None, cache_dir=None, use_cache=False, progress=None):
+    return run_grid(
+        specs, jobs=jobs, cache_dir=cache_dir, use_cache=use_cache, progress=progress
+    ).raise_if_failed()
+
+
 @dataclass
 class AblationRow:
     name: str
@@ -54,17 +63,20 @@ class AblationRow:
         return self.variant_exits / self.reference_exits - 1.0
 
 
-def ablate_keep_timer(*, seed: int = 0) -> AblationRow:
+def ablate_keep_timer(*, seed: int = 0, **engine) -> AblationRow:
     """Paratick with vs without the keep-timer-on-idle-exit heuristic."""
-    wl = SyncStormWorkload(threads=4, events_per_second=2000.0, duration_cycles=300_000_000)
-    with keep_timer_heuristic(True):
-        ref = run_workload(wl, tick_mode=TickMode.PARATICK, seed=seed)
-    with keep_timer_heuristic(False):
-        var = run_workload(wl, tick_mode=TickMode.PARATICK, seed=seed)
-    return AblationRow("keep-timer-on-idle-exit OFF", var.total_exits, ref.total_exits)
+    wl = WorkloadSpec.make(
+        "micro.syncstorm", threads=4, events_per_second=2000.0, duration_cycles=300_000_000
+    )
+    ref = RunSpec(wl, tick_mode=TickMode.PARATICK, seed=seed, label="keep-timer/on")
+    var = ref.with_(keep_timer_on_idle_exit=False, label="keep-timer/off")
+    grid = _grid([ref, var], **engine)
+    return AblationRow(
+        "keep-timer-on-idle-exit OFF", grid[var].total_exits, grid[ref].total_exits
+    )
 
 
-def ablate_last_tick_heuristic(*, seed: int = 0) -> AblationRow:
+def ablate_last_tick_heuristic(*, seed: int = 0, **engine) -> AblationRow:
     """Paratick with vs without §5.1's last-tick update heuristic.
 
     The cost of disabling it is *redundant virtual ticks*: the guest
@@ -76,21 +88,18 @@ def ablate_last_tick_heuristic(*, seed: int = 0) -> AblationRow:
     # A sleepy workload whose wake-ups *are* guest timer interrupts —
     # exactly the entries §5.1's heuristic covers (sync wake-ups arrive
     # as IPIs and never trigger it).
-    from repro.sim.timebase import MSEC
-    from repro.workloads.micro import IdlePeriodWorkload
-
-    wl = IdlePeriodWorkload(6 * MSEC, iterations=250, work_cycles=500_000)
-    ref = run_workload(wl, tick_mode=TickMode.PARATICK, seed=seed)
-    var = run_workload(
-        wl,
-        tick_mode=TickMode.PARATICK,
-        seed=seed,
-        features=HostFeatures(paratick_last_tick_heuristic=False),
+    wl = WorkloadSpec.make(
+        "micro.idleperiod", idle_ns=6 * MSEC, iterations=250, work_cycles=500_000
     )
+    ref = RunSpec(wl, tick_mode=TickMode.PARATICK, seed=seed, label="last-tick/on")
+    var = ref.with_(
+        features=HostFeatures(paratick_last_tick_heuristic=False), label="last-tick/off"
+    )
+    grid = _grid([ref, var], **engine)
     return AblationRow(
         "last-tick heuristic OFF (virtual ticks)",
-        int(var.extra["virtual_ticks"]),
-        max(1, int(ref.extra["virtual_ticks"])),
+        int(grid[var].extra["virtual_ticks"]),
+        max(1, int(grid[ref].extra["virtual_ticks"])),
     )
 
 
@@ -102,19 +111,26 @@ class HaltPollRow:
     total_cycles: int
 
 
-def ablate_halt_polling(*, poll_windows=(0, 50_000, 200_000), seed: int = 0) -> list[HaltPollRow]:
+def ablate_halt_polling(
+    *, poll_windows=(0, 50_000, 200_000), seed: int = 0, **engine
+) -> list[HaltPollRow]:
     """Why the paper disabled halt polling: cycles burned vs time saved."""
     from repro.hw.cpu import CycleDomain
 
-    rows = []
-    wl = SyncStormWorkload(threads=4, events_per_second=3000.0, duration_cycles=200_000_000)
-    for poll in poll_windows:
-        m = run_workload(
-            wl,
-            tick_mode=TickMode.TICKLESS,
-            seed=seed,
-            features=HostFeatures(halt_poll_ns=poll),
+    wl = WorkloadSpec.make(
+        "micro.syncstorm", threads=4, events_per_second=3000.0, duration_cycles=200_000_000
+    )
+    specs = [
+        RunSpec(
+            wl, tick_mode=TickMode.TICKLESS, seed=seed,
+            features=HostFeatures(halt_poll_ns=poll), label=f"halt-poll/{poll}",
         )
+        for poll in poll_windows
+    ]
+    grid = _grid(specs, **engine)
+    rows = []
+    for poll, spec in zip(poll_windows, specs):
+        m = grid[spec]
         poll_ns = m.ledger.get(CycleDomain.HALT_POLL, 0)
         rows.append(
             HaltPollRow(
@@ -138,7 +154,7 @@ class MismatchRow:
     total_exits: int
 
 
-def ablate_frequency_mismatch(*, seed: int = 0) -> list[MismatchRow]:
+def ablate_frequency_mismatch(*, seed: int = 0, **engine) -> list[MismatchRow]:
     """§4.1: tick delivery when host and guest frequencies differ.
 
     Paratick injects on VM entry; when the host ticks slower than the
@@ -149,29 +165,33 @@ def ablate_frequency_mismatch(*, seed: int = 0) -> list[MismatchRow]:
     both variants: the backstop restores the declared rate at the price
     of backstop exits.
     """
-    rows = []
+    wl = WorkloadSpec.make("parsec", name="swaptions", target_cycles=400_000_000)
+    cells = []
+    specs = []
     for host_hz in (100, 250, 1000):
         for adapt in (False, True):
-            wl = benchmark("swaptions", target_cycles=400_000_000)
-            m = run_workload(
-                wl,
-                tick_mode=TickMode.PARATICK,
-                seed=seed,
-                noise=False,
-                machine_spec=MachineSpec(host_tick_hz=host_hz),
+            spec = RunSpec(
+                wl, tick_mode=TickMode.PARATICK, seed=seed, noise=False,
+                machine=MachineSpec(host_tick_hz=host_hz),
                 features=HostFeatures(paratick_rate_adapt=adapt),
+                label=f"mismatch/{host_hz}hz/{'adapt' if adapt else 'plain'}",
             )
-            secs = m.exec_time_ns / SEC
-            delivered = m.extra["virtual_ticks"] / secs
-            rows.append(
-                MismatchRow(
-                    host_hz=host_hz,
-                    guest_hz=250,
-                    rate_adapt=adapt,
-                    delivered_hz=delivered,
-                    total_exits=m.total_exits,
-                )
+            cells.append((host_hz, adapt, spec))
+            specs.append(spec)
+    grid = _grid(specs, **engine)
+    rows = []
+    for host_hz, adapt, spec in cells:
+        m = grid[spec]
+        secs = m.exec_time_ns / SEC
+        rows.append(
+            MismatchRow(
+                host_hz=host_hz,
+                guest_hz=250,
+                rate_adapt=adapt,
+                delivered_hz=m.extra["virtual_ticks"] / secs,
+                total_exits=m.total_exits,
             )
+        )
     return rows
 
 
@@ -182,27 +202,35 @@ class EoiRow:
     base_exits: int
 
 
-def ablate_virtual_eoi(*, seed: int = 0) -> list[EoiRow]:
+def ablate_virtual_eoi(*, seed: int = 0, **engine) -> list[EoiRow]:
     """Paratick's benefit on pre-APICv hosts (EOI writes trap).
 
     Trapped EOIs add one exit per handled interrupt *in every mode*,
     diluting the relative exit reduction but leaving paratick's absolute
     savings intact — the mechanism is orthogonal to EOI virtualization.
     """
-    wl = SyncStormWorkload(threads=4, events_per_second=2000.0, duration_cycles=200_000_000)
-    rows = []
+    wl = WorkloadSpec.make(
+        "micro.syncstorm", threads=4, events_per_second=2000.0, duration_cycles=200_000_000
+    )
+    cells = []
+    specs = []
     for veoi in (True, False):
         features = HostFeatures(virtual_eoi=veoi)
-        base = run_workload(wl, tick_mode=TickMode.TICKLESS, seed=seed, features=features)
-        cand = run_workload(wl, tick_mode=TickMode.PARATICK, seed=seed, features=features)
-        rows.append(
-            EoiRow(
-                virtual_eoi=veoi,
-                exit_reduction=cand.total_exits / base.total_exits - 1.0,
-                base_exits=base.total_exits,
-            )
+        tag = "veoi" if veoi else "trap"
+        base = RunSpec(wl, tick_mode=TickMode.TICKLESS, seed=seed,
+                       features=features, label=f"eoi/{tag}/tickless")
+        cand = base.with_(tick_mode=TickMode.PARATICK, label=f"eoi/{tag}/paratick")
+        cells.append((veoi, base, cand))
+        specs += [base, cand]
+    grid = _grid(specs, **engine)
+    return [
+        EoiRow(
+            virtual_eoi=veoi,
+            exit_reduction=grid[cand].total_exits / grid[base].total_exits - 1.0,
+            base_exits=grid[base].total_exits,
         )
-    return rows
+        for veoi, base, cand in cells
+    ]
 
 
 @dataclass
@@ -213,7 +241,7 @@ class SensitivityRow:
 
 
 def ablate_exit_cost_sensitivity(
-    *, pollutions=(10_000, 55_000, 150_000), seed: int = 0
+    *, pollutions=(10_000, 55_000, 150_000), seed: int = 0, **engine
 ) -> list[SensitivityRow]:
     """How the headline throughput gain scales with per-exit cost.
 
@@ -224,29 +252,40 @@ def ablate_exit_cost_sensitivity(
     published measurements support; the default (55k cycles) is the
     defensible middle.
     """
-    from repro.workloads.parsec import benchmark
-
-    rows = []
+    wl = WorkloadSpec.make(
+        "parsec", name="streamcluster", threads=8, target_cycles=100_000_000
+    )
+    cells = []
+    specs = []
     for pollution in pollutions:
-        costs = DEFAULT_COSTS.with_overrides(pollution=pollution)
-        wl = benchmark("streamcluster", threads=8, target_cycles=100_000_000)
-        base = run_workload(wl, tick_mode=TickMode.TICKLESS, seed=seed, costs=costs)
-        cand = run_workload(wl, tick_mode=TickMode.PARATICK, seed=seed, costs=costs)
-        rows.append(
-            SensitivityRow(
-                pollution_cycles=pollution,
-                throughput_gain=base.total_cycles / cand.total_cycles - 1.0,
-                exit_reduction=cand.total_exits / base.total_exits - 1.0,
-            )
+        overrides = (("pollution", pollution),)
+        base = RunSpec(wl, tick_mode=TickMode.TICKLESS, seed=seed,
+                       cost_overrides=overrides, label=f"cost/{pollution}/tickless")
+        cand = base.with_(tick_mode=TickMode.PARATICK, label=f"cost/{pollution}/paratick")
+        cells.append((pollution, base, cand))
+        specs += [base, cand]
+    grid = _grid(specs, **engine)
+    return [
+        SensitivityRow(
+            pollution_cycles=pollution,
+            throughput_gain=grid[base].total_cycles / grid[cand].total_cycles - 1.0,
+            exit_reduction=grid[cand].total_exits / grid[base].total_exits - 1.0,
         )
-    return rows
+        for pollution, base, cand in cells
+    ]
 
 
-def ablate_did(*, seed: int = 0, machine_cpus: int = 16) -> tuple[DidEstimate, float, RunMetrics, RunMetrics]:
+def ablate_did(
+    *, seed: int = 0, machine_cpus: int = 16, **engine
+) -> tuple[DidEstimate, float, RunMetrics, RunMetrics]:
     """DID vs paratick on a sync-heavy workload (§7's trade-off)."""
-    wl = SyncStormWorkload(threads=8, events_per_second=8000.0, duration_cycles=200_000_000)
-    base = run_workload(wl, tick_mode=TickMode.TICKLESS, seed=seed)
-    para = run_workload(wl, tick_mode=TickMode.PARATICK, seed=seed)
+    wl = WorkloadSpec.make(
+        "micro.syncstorm", threads=8, events_per_second=8000.0, duration_cycles=200_000_000
+    )
+    base_spec = RunSpec(wl, tick_mode=TickMode.TICKLESS, seed=seed, label="did/tickless")
+    para_spec = base_spec.with_(tick_mode=TickMode.PARATICK, label="did/paratick")
+    grid = _grid([base_spec, para_spec], **engine)
+    base, para = grid[base_spec], grid[para_spec]
     c = DEFAULT_COSTS
     est = estimate_did(
         base,

@@ -83,6 +83,32 @@ def run_idle_overcommit(
     )
 
 
-def compare_modes(**kwargs) -> dict[TickMode, OvercommitResult]:
-    """The W1/W2 comparison across all three tick modes."""
-    return {mode: run_idle_overcommit(mode, **kwargs) for mode in TickMode}
+def compare_modes(
+    *,
+    jobs: int | None = None,
+    cache_dir=None,
+    use_cache: bool = False,
+    progress=None,
+    **kwargs,
+) -> dict[TickMode, OvercommitResult]:
+    """The W1/W2 comparison across all three tick modes.
+
+    The three scenarios are independent, so they run as a grid through
+    the parallel experiment engine — ``jobs=3`` executes all modes
+    concurrently, and the result cache makes repeat sweeps incremental.
+    """
+    from repro.experiments.parallel import OVERCOMMIT_IDLE, RunSpec, WorkloadSpec, run_grid
+
+    seed = kwargs.pop("seed", 0)
+    specs = {
+        mode: RunSpec(
+            WorkloadSpec.make(OVERCOMMIT_IDLE, **kwargs),
+            tick_mode=mode, seed=seed, label=f"overcommit/{mode.value}",
+        )
+        for mode in TickMode
+    }
+    grid = run_grid(
+        list(specs.values()), jobs=jobs, cache_dir=cache_dir,
+        use_cache=use_cache, progress=progress,
+    ).raise_if_failed()
+    return {mode: grid[spec] for mode, spec in specs.items()}

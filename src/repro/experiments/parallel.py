@@ -1,0 +1,736 @@
+"""Parallel experiment engine with content-addressed result caching.
+
+Every figure in the paper (Tables 1-4, Figs. 4-6) is a grid of
+independent ``run_workload`` calls over (scenario x tick-mode x seed).
+This module turns that grid into data — a list of :class:`RunSpec` — and
+executes it:
+
+* **fan-out** across a :class:`~concurrent.futures.ProcessPoolExecutor`
+  (``jobs=N``); the simulator is deterministic per seed, so a run's
+  result does not depend on which process executes it;
+* **result cache** — each spec hashes to a stable content address
+  (:func:`spec_key`); finished runs are stored as JSON under that key
+  and re-running a benchmark only executes changed cells;
+* **fault tolerance** — a per-run timeout (enforced *inside* the worker
+  via ``SIGALRM``, so a stuck run cannot wedge the pool) and one
+  automatic retry for raising/timing-out/crashing workers; what still
+  fails lands in :attr:`GridResult.failed_specs` instead of sinking the
+  rest of the grid;
+* **progress** — an optional callback receives a
+  :class:`ProgressEvent` per finished cell (the CLI prints these).
+
+A :class:`RunSpec` is declarative: the workload is named by a
+:class:`WorkloadSpec` (factory kind + keyword parameters) rather than a
+live object, so specs are hashable, picklable and JSON-serializable.
+Results round-trip through :meth:`RunMetrics.to_json_dict`; both the
+serial and the pooled path return cache-decoded objects, so a cached
+grid is bit-identical to a fresh one.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import multiprocessing
+import os
+import signal
+import threading
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import asdict, dataclass, field, fields
+from pathlib import Path
+from typing import Any, Callable, Iterable, Optional
+
+from repro.config import HostFeatures, IoDeviceKind, MachineSpec, TickMode
+from repro.errors import ReproError
+from repro.metrics.perf import RunMetrics
+from repro.metrics.report import Comparison, compare_runs
+
+#: Bump when the spec encoding or result encoding changes shape —
+#: invalidates every previously cached result.
+CACHE_VERSION = 1
+
+#: Default per-run wall-clock timeout (seconds of *real* time).
+DEFAULT_TIMEOUT_S = 600.0
+
+#: Default cache location; override with ``REPRO_CACHE_DIR`` or the
+#: ``cache_dir`` argument. Kept repo-local (and git-ignored).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+class GridError(ReproError):
+    """A grid could not produce the results a driver requires."""
+
+
+class RunTimeout(ReproError):
+    """A single run exceeded its per-run timeout."""
+
+
+# --------------------------------------------------------------------------
+# Workload registry
+# --------------------------------------------------------------------------
+
+#: kind -> factory(**params) -> Workload. Extend with
+#: :func:`register_workload` (test fixtures and future workloads).
+WORKLOAD_FACTORIES: dict[str, Callable[..., Any]] = {}
+
+
+def register_workload(kind: str, factory: Callable[..., Any]) -> None:
+    """Register (or replace) a workload factory under ``kind``."""
+    WORKLOAD_FACTORIES[kind] = factory
+
+
+def _register_defaults() -> None:
+    from repro.workloads import fio, parsec
+    from repro.workloads.micro import (
+        IdlePeriodWorkload,
+        IdleWorkload,
+        PingPongWorkload,
+        SyncStormWorkload,
+    )
+    from repro.workloads.netserve import NetServiceWorkload
+
+    register_workload("parsec", parsec.benchmark)
+    register_workload("fio", lambda category, block_size, total_bytes=32 << 20: fio.job(
+        category, block_size, total_bytes=total_bytes))
+    register_workload("micro.idle", IdleWorkload)
+    register_workload("micro.syncstorm", SyncStormWorkload)
+    register_workload("micro.idleperiod", lambda idle_ns, **kw: IdlePeriodWorkload(idle_ns, **kw))
+    register_workload("micro.pingpong", PingPongWorkload)
+    register_workload("netserve", NetServiceWorkload)
+
+
+_register_defaults()
+
+#: Special kind executed by :func:`repro.experiments.overcommit.run_idle_overcommit`
+#: (a multi-VM scenario, not a single-VM Workload).
+OVERCOMMIT_IDLE = "overcommit.idle"
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A workload named by factory kind + sorted keyword parameters."""
+
+    kind: str
+    #: Sorted (name, value) pairs; values must be JSON-scalar.
+    params: tuple[tuple[str, Any], ...] = ()
+
+    @classmethod
+    def make(cls, kind: str, **params: Any) -> "WorkloadSpec":
+        return cls(kind, tuple(sorted(params.items())))
+
+    def kwargs(self) -> dict[str, Any]:
+        return dict(self.params)
+
+    def build(self) -> Any:
+        try:
+            factory = WORKLOAD_FACTORIES[self.kind]
+        except KeyError:
+            raise GridError(
+                f"unknown workload kind {self.kind!r}; know {sorted(WORKLOAD_FACTORIES)}"
+            ) from None
+        return factory(**self.kwargs())
+
+
+# --------------------------------------------------------------------------
+# RunSpec
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One cell of an experiment grid: workload + tick mode + seed + knobs.
+
+    Mirrors :func:`repro.experiments.runner.run_workload`'s signature,
+    but as pure data. ``cost_overrides`` are applied on top of
+    :data:`~repro.host.costs.DEFAULT_COSTS`;
+    ``keep_timer_on_idle_exit`` drives the §5.2.5 class-level policy
+    knob (applied and restored around the run, worker-safe).
+    """
+
+    workload: WorkloadSpec
+    tick_mode: TickMode = TickMode.TICKLESS
+    seed: int = 0
+    vcpus: Optional[int] = None
+    pinned_cpus: Optional[tuple[int, ...]] = None
+    machine: Optional[MachineSpec] = None
+    features: HostFeatures = field(default_factory=HostFeatures)
+    cost_overrides: tuple[tuple[str, int], ...] = ()
+    tick_hz: int = 250
+    noise: bool = True
+    cpuidle: bool = False
+    device_kind: Optional[IoDeviceKind] = None
+    horizon_ns: Optional[int] = None
+    label: Optional[str] = None
+    keep_timer_on_idle_exit: bool = True
+
+    def with_(self, **changes: Any) -> "RunSpec":
+        from dataclasses import replace
+
+        return replace(self, **changes)
+
+    def display_label(self) -> str:
+        return self.label or f"{self.workload.kind}/{self.tick_mode.value}/s{self.seed}"
+
+
+def spec_to_dict(spec: RunSpec) -> dict:
+    """Canonical JSON-safe encoding of a spec (the cache-key input)."""
+    return {
+        "workload": {"kind": spec.workload.kind, "params": spec.workload.kwargs()},
+        "tick_mode": spec.tick_mode.value,
+        "seed": spec.seed,
+        "vcpus": spec.vcpus,
+        "pinned_cpus": list(spec.pinned_cpus) if spec.pinned_cpus is not None else None,
+        "machine": asdict(spec.machine) if spec.machine is not None else None,
+        "features": asdict(spec.features),
+        "cost_overrides": dict(spec.cost_overrides),
+        "tick_hz": spec.tick_hz,
+        "noise": spec.noise,
+        "cpuidle": spec.cpuidle,
+        "device_kind": spec.device_kind.value if spec.device_kind is not None else None,
+        "horizon_ns": spec.horizon_ns,
+        "label": spec.label,
+        "keep_timer_on_idle_exit": spec.keep_timer_on_idle_exit,
+    }
+
+
+def spec_from_dict(data: dict) -> RunSpec:
+    """Inverse of :func:`spec_to_dict` (cache-file rehydration)."""
+    return RunSpec(
+        workload=WorkloadSpec.make(data["workload"]["kind"], **data["workload"]["params"]),
+        tick_mode=TickMode(data["tick_mode"]),
+        seed=int(data["seed"]),
+        vcpus=data["vcpus"],
+        pinned_cpus=tuple(data["pinned_cpus"]) if data["pinned_cpus"] is not None else None,
+        machine=MachineSpec(**data["machine"]) if data["machine"] is not None else None,
+        features=HostFeatures(**data["features"]),
+        cost_overrides=tuple(sorted(data["cost_overrides"].items())),
+        tick_hz=int(data["tick_hz"]),
+        noise=bool(data["noise"]),
+        cpuidle=bool(data["cpuidle"]),
+        device_kind=IoDeviceKind(data["device_kind"]) if data["device_kind"] is not None else None,
+        horizon_ns=data["horizon_ns"],
+        label=data["label"],
+        keep_timer_on_idle_exit=bool(data["keep_timer_on_idle_exit"]),
+    )
+
+
+def spec_key(spec: RunSpec) -> str:
+    """Stable content address of a spec (sha256 over canonical JSON).
+
+    Any knob change — workload parameter, tick mode, seed, machine,
+    features, costs — changes the key and therefore invalidates the
+    cached cell; bumping :data:`CACHE_VERSION` invalidates everything.
+    """
+    payload = json.dumps({"v": CACHE_VERSION, "spec": spec_to_dict(spec)},
+                         sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+# --------------------------------------------------------------------------
+# Execution of one spec
+# --------------------------------------------------------------------------
+
+@contextlib.contextmanager
+def _keep_timer(enabled: bool):
+    from repro.core.paratick_guest import ParatickPolicy
+
+    prev = ParatickPolicy.keep_timer_on_idle_exit
+    ParatickPolicy.keep_timer_on_idle_exit = enabled
+    try:
+        yield
+    finally:
+        ParatickPolicy.keep_timer_on_idle_exit = prev
+
+
+def execute_spec(spec: RunSpec):
+    """Run one spec in-process and return its result object.
+
+    Returns :class:`RunMetrics` for workload specs and
+    :class:`~repro.experiments.overcommit.OvercommitResult` for
+    ``overcommit.idle`` specs.
+    """
+    if spec.workload.kind == OVERCOMMIT_IDLE:
+        from repro.experiments.overcommit import run_idle_overcommit
+
+        return run_idle_overcommit(spec.tick_mode, seed=spec.seed, **spec.workload.kwargs())
+
+    from repro.experiments.runner import DEFAULT_HORIZON_NS, run_workload
+    from repro.host.costs import DEFAULT_COSTS
+
+    costs = DEFAULT_COSTS
+    if spec.cost_overrides:
+        costs = costs.with_overrides(**dict(spec.cost_overrides))
+    with _keep_timer(spec.keep_timer_on_idle_exit):
+        return run_workload(
+            spec.workload.build(),
+            tick_mode=spec.tick_mode,
+            vcpus=spec.vcpus,
+            pinned_cpus=spec.pinned_cpus,
+            machine_spec=spec.machine,
+            features=spec.features,
+            costs=costs,
+            tick_hz=spec.tick_hz,
+            seed=spec.seed,
+            noise=spec.noise,
+            cpuidle=spec.cpuidle,
+            device_kind=spec.device_kind,
+            horizon_ns=spec.horizon_ns if spec.horizon_ns is not None else DEFAULT_HORIZON_NS,
+            label=spec.label,
+        )
+
+
+def encode_result(obj: Any) -> dict:
+    """Encode a run result for the cache / the worker return channel."""
+    from repro.experiments.overcommit import OvercommitResult
+
+    if isinstance(obj, RunMetrics):
+        return {"type": "run_metrics", "data": obj.to_json_dict()}
+    if isinstance(obj, OvercommitResult):
+        data = asdict(obj)
+        data["mode"] = obj.mode.value
+        return {"type": "overcommit", "data": data}
+    raise GridError(f"cannot encode result of type {type(obj).__name__}")
+
+
+def decode_result(encoded: dict) -> Any:
+    """Inverse of :func:`encode_result`; raises on malformed input."""
+    from repro.experiments.overcommit import OvercommitResult
+
+    kind = encoded["type"]
+    data = encoded["data"]
+    if kind == "run_metrics":
+        return RunMetrics.from_json_dict(data)
+    if kind == "overcommit":
+        data = dict(data)
+        data["mode"] = TickMode(data["mode"])
+        return OvercommitResult(**data)
+    raise GridError(f"unknown cached result type {kind!r}")
+
+
+@contextlib.contextmanager
+def _alarm(seconds: Optional[float]):
+    """Raise :class:`RunTimeout` after ``seconds`` of real time.
+
+    SIGALRM-based, so it interrupts a compute-bound simulation; only
+    armed in a main thread (worker processes always qualify).
+    """
+    if not seconds or threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise RunTimeout(f"run exceeded the per-run timeout of {seconds:g}s")
+
+    prev = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, prev)
+
+
+def _worker_run(spec: RunSpec, timeout_s: Optional[float]) -> dict:
+    """Pool entry point: execute one spec under its timeout, encoded."""
+    with _alarm(timeout_s):
+        return encode_result(execute_spec(spec))
+
+
+# --------------------------------------------------------------------------
+# Result cache
+# --------------------------------------------------------------------------
+
+class ResultCache:
+    """Content-addressed on-disk store of encoded run results.
+
+    Layout: ``<root>/<key[:2]>/<key>.json``, one file per spec, written
+    atomically (tmp + rename). A corrupted, truncated or stale-format
+    file is discarded on read — never fatal.
+    """
+
+    def __init__(self, root: str | os.PathLike | None = None) -> None:
+        self.root = Path(root or os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR))
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def load(self, spec: RunSpec) -> Any | None:
+        """Decoded result for ``spec``, or None on miss/corruption."""
+        path = self.path_for(spec_key(spec))
+        try:
+            payload = json.loads(path.read_text())
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError):
+            self._discard(path)
+            return None
+        try:
+            if payload["version"] != CACHE_VERSION:
+                raise ValueError("cache version mismatch")
+            return decode_result(payload["result"])
+        except (KeyError, TypeError, ValueError, ReproError):
+            self._discard(path)
+            return None
+
+    def store(self, spec: RunSpec, encoded: dict) -> Path:
+        key = spec_key(spec)
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+        tmp.write_text(json.dumps(
+            {"version": CACHE_VERSION, "key": key, "spec": spec_to_dict(spec),
+             "result": encoded},
+            sort_keys=True,
+        ))
+        os.replace(tmp, path)
+        return path
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        with contextlib.suppress(OSError):
+            path.unlink()
+
+
+# --------------------------------------------------------------------------
+# Grid execution
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One cell of the grid settled (from cache, a run, or failure)."""
+
+    spec: RunSpec
+    #: "cached" | "ran" | "retry" | "failed"
+    status: str
+    done: int
+    total: int
+    attempt: int = 1
+    error: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class FailedSpec:
+    """A cell that failed every attempt; the grid continued without it."""
+
+    spec: RunSpec
+    error: str
+    attempts: int
+
+
+@dataclass
+class GridResult:
+    """Outcome of one grid execution (possibly partial)."""
+
+    specs: list[RunSpec]
+    results: dict[RunSpec, Any]
+    failed_specs: list[FailedSpec] = field(default_factory=list)
+    cache_hits: int = 0
+    executed: int = 0
+
+    @property
+    def complete(self) -> bool:
+        return not self.failed_specs
+
+    def ordered(self) -> list[Any]:
+        """Results aligned with the input spec order (None where failed)."""
+        return [self.results.get(s) for s in self.specs]
+
+    def __getitem__(self, spec: RunSpec) -> Any:
+        try:
+            return self.results[spec]
+        except KeyError:
+            raise GridError(f"no result for {spec.display_label()} "
+                            f"(failed or not part of this grid)") from None
+
+    def raise_if_failed(self) -> "GridResult":
+        """For drivers that need the *full* grid (tables, aggregates)."""
+        if self.failed_specs:
+            names = ", ".join(f.spec.display_label() for f in self.failed_specs[:5])
+            raise GridError(
+                f"{len(self.failed_specs)} grid cell(s) failed (first: {names}); "
+                f"last error: {self.failed_specs[-1].error}"
+            )
+        return self
+
+
+def _pool_context():
+    """Prefer fork: cheap on Linux, and workers inherit workload kinds
+    registered by the calling process (tests rely on this)."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else methods[0])
+
+
+def run_grid(
+    specs: Iterable[RunSpec],
+    *,
+    jobs: Optional[int] = None,
+    cache_dir: str | os.PathLike | None = None,
+    use_cache: bool = True,
+    timeout_s: Optional[float] = DEFAULT_TIMEOUT_S,
+    retries: int = 1,
+    progress: Optional[Callable[[ProgressEvent], None]] = None,
+) -> GridResult:
+    """Execute a grid of specs, using the cache and ``jobs`` workers.
+
+    ``jobs=None``/``0``/``1`` executes serially in-process (still using
+    the cache); ``jobs=N`` fans out across N worker processes. Each
+    failing cell (exception, timeout, worker crash) is retried
+    ``retries`` times and then reported in
+    :attr:`GridResult.failed_specs` — the rest of the grid completes
+    regardless.
+    """
+    spec_list = list(specs)
+    unique: dict[RunSpec, None] = dict.fromkeys(spec_list)
+    total = len(unique)
+    cache = ResultCache(cache_dir) if use_cache else None
+    result = GridResult(specs=spec_list, results={})
+    done = 0
+
+    def emit(spec: RunSpec, status: str, attempt: int = 1, error: str | None = None) -> None:
+        if progress is not None:
+            progress(ProgressEvent(spec, status, done, total, attempt, error))
+
+    pending: list[RunSpec] = []
+    for spec in unique:
+        hit = cache.load(spec) if cache is not None else None
+        if hit is not None:
+            result.results[spec] = hit
+            result.cache_hits += 1
+            done += 1
+            emit(spec, "cached")
+        else:
+            pending.append(spec)
+
+    def settle_ok(spec: RunSpec, encoded: dict) -> None:
+        nonlocal done, cache
+        result.results[spec] = decode_result(encoded)
+        result.executed += 1
+        if cache is not None:
+            try:
+                cache.store(spec, encoded)
+            except OSError as exc:
+                # An unwritable store (bad cache_dir, full disk) must not
+                # sink a grid whose results are already in memory.
+                import warnings
+
+                warnings.warn(
+                    f"result cache disabled: cannot write {cache.root}: {exc}",
+                    RuntimeWarning, stacklevel=2,
+                )
+                cache = None
+        done += 1
+        emit(spec, "ran")
+
+    def settle_failed(spec: RunSpec, error: str, attempts: int) -> None:
+        nonlocal done
+        result.failed_specs.append(FailedSpec(spec, error, attempts))
+        done += 1
+        emit(spec, "failed", attempts, error)
+
+    if not pending:
+        return result
+
+    if not jobs or jobs <= 1:
+        for spec in pending:
+            attempt = 0
+            while True:
+                attempt += 1
+                try:
+                    settle_ok(spec, _worker_run(spec, timeout_s))
+                    break
+                except Exception as exc:
+                    if attempt > retries:
+                        settle_failed(spec, repr(exc), attempt)
+                        break
+                    emit(spec, "retry", attempt, repr(exc))
+        return result
+
+    ctx = _pool_context()
+    attempts: dict[RunSpec, int] = {s: 1 for s in pending}
+    pool = ProcessPoolExecutor(max_workers=jobs, mp_context=ctx)
+    in_flight: dict[Any, RunSpec] = {
+        pool.submit(_worker_run, spec, timeout_s): spec for spec in pending
+    }
+    try:
+        while in_flight:
+            finished, _ = wait(list(in_flight), return_when=FIRST_COMPLETED)
+            pool_broken = False
+            for fut in finished:
+                spec = in_flight.pop(fut)
+                try:
+                    encoded = fut.result()
+                except BrokenProcessPool as exc:
+                    # The pool died (a worker crashed hard). Every
+                    # in-flight future is lost: rebuild the pool and
+                    # retry them all, charging each one attempt.
+                    casualties = [spec] + list(in_flight.values())
+                    in_flight.clear()
+                    with contextlib.suppress(Exception):
+                        pool.shutdown(wait=False, cancel_futures=True)
+                    pool = ProcessPoolExecutor(max_workers=jobs, mp_context=ctx)
+                    for s in casualties:
+                        if attempts[s] > retries:
+                            settle_failed(s, repr(exc), attempts[s])
+                        else:
+                            emit(s, "retry", attempts[s], repr(exc))
+                            attempts[s] += 1
+                            in_flight[pool.submit(_worker_run, s, timeout_s)] = s
+                    pool_broken = True
+                except Exception as exc:  # worker raised (incl. RunTimeout)
+                    if attempts[spec] > retries:
+                        settle_failed(spec, repr(exc), attempts[spec])
+                    else:
+                        emit(spec, "retry", attempts[spec], repr(exc))
+                        attempts[spec] += 1
+                        in_flight[pool.submit(_worker_run, spec, timeout_s)] = spec
+                else:
+                    settle_ok(spec, encoded)
+                if pool_broken:
+                    break  # `in_flight` was rebuilt wholesale; re-wait
+    finally:
+        with contextlib.suppress(Exception):
+            pool.shutdown(wait=False, cancel_futures=True)
+    return result
+
+
+def progress_reporter(stream=None):
+    """A ``(stats, callback)`` pair for CLI-style grid drivers.
+
+    ``callback`` prints one line per settled cell to ``stream`` (stderr
+    by default) and tallies statuses in ``stats`` — drivers use the
+    tally to report how much of a sweep was served from cache.
+    """
+    import collections
+    import sys
+
+    stats: collections.Counter[str] = collections.Counter()
+    out = stream if stream is not None else sys.stderr
+
+    def callback(event: ProgressEvent) -> None:
+        stats[event.status] += 1
+        detail = f" ({event.error})" if event.error else ""
+        print(f"[{event.done}/{event.total}] {event.status:<6} "
+              f"{event.spec.display_label()}{detail}", file=out)
+
+    return stats, callback
+
+
+# --------------------------------------------------------------------------
+# A/B comparison helpers (the paper's measurement, grid-shaped)
+# --------------------------------------------------------------------------
+
+def ab_specs(
+    workload: WorkloadSpec,
+    *,
+    baseline: TickMode = TickMode.TICKLESS,
+    candidate: TickMode = TickMode.PARATICK,
+    seed: int = 0,
+    label: Optional[str] = None,
+    **knobs: Any,
+) -> tuple[RunSpec, RunSpec]:
+    """The paper's A/B pair: same workload/seed/knobs, two tick modes."""
+    stem = label or workload.kind
+    base = RunSpec(workload=workload, tick_mode=baseline, seed=seed,
+                   label=f"{stem}/{baseline.value}", **knobs)
+    cand = base.with_(tick_mode=candidate, label=f"{stem}/{candidate.value}")
+    return base, cand
+
+
+def compare_from_grid(
+    grid: GridResult, base: RunSpec, cand: RunSpec, label: str
+) -> Comparison:
+    """Build one paper-style comparison row out of a finished grid."""
+    return compare_runs(grid[base], grid[cand], label)
+
+
+def cost_overrides_from(costs: Any) -> tuple[tuple[str, int], ...]:
+    """Diff a :class:`CostModel` against the defaults, as spec overrides."""
+    from repro.host.costs import DEFAULT_COSTS
+
+    out = []
+    for f in fields(costs):
+        value = getattr(costs, f.name)
+        if value != getattr(DEFAULT_COSTS, f.name):
+            out.append((f.name, value))
+    return tuple(sorted(out))
+
+
+def spec_for(
+    workload: Any,
+    *,
+    tick_mode: TickMode,
+    seed: int = 0,
+    label: Optional[str] = None,
+    **run_kwargs: Any,
+) -> RunSpec:
+    """Translate a ``run_workload``-style call into a :class:`RunSpec`.
+
+    ``workload`` may be a :class:`WorkloadSpec` or a live workload
+    object (reverse-mapped via :func:`describe_workload`); the remaining
+    keywords mirror :func:`~repro.experiments.runner.run_workload`.
+    Raises :class:`GridError` for anything the engine cannot express
+    (an unknown workload type, a live ``tracer``).
+    """
+    ws = workload if isinstance(workload, WorkloadSpec) else describe_workload(workload)
+    if run_kwargs.get("tracer") is not None:
+        raise GridError("a live tracer cannot cross the worker boundary")
+    run_kwargs.pop("tracer", None)
+    machine = run_kwargs.pop("machine_spec", None)
+    costs = run_kwargs.pop("costs", None)
+    overrides = cost_overrides_from(costs) if costs is not None else ()
+    return RunSpec(workload=ws, tick_mode=tick_mode, seed=seed, machine=machine,
+                   cost_overrides=overrides, label=label, **run_kwargs)
+
+
+def describe_workload(workload: Any) -> WorkloadSpec:
+    """Reverse-map a live workload object to its declarative spec.
+
+    Covers every in-tree workload class; raises :class:`GridError` for
+    unknown types (callers fall back to serial in-process execution).
+    """
+    from repro.hw.nic import DATACENTER_10G
+    from repro.workloads.fio import FioWorkload
+    from repro.workloads.micro import (
+        IdlePeriodWorkload,
+        IdleWorkload,
+        PingPongWorkload,
+        SyncStormWorkload,
+    )
+    from repro.workloads.netserve import NetServiceWorkload
+    from repro.workloads.parsec import ParsecWorkload
+
+    if isinstance(workload, ParsecWorkload):
+        return WorkloadSpec.make(
+            "parsec", name=workload.profile.name, threads=workload.threads,
+            target_cycles=workload.target_cycles,
+        )
+    if isinstance(workload, FioWorkload):
+        return WorkloadSpec.make(
+            "fio", category=workload.job.category, block_size=workload.job.block_size,
+            total_bytes=workload.total_bytes,
+        )
+    if isinstance(workload, IdleWorkload):
+        return WorkloadSpec.make("micro.idle", vcpus=workload.vcpus)
+    if isinstance(workload, SyncStormWorkload):
+        return WorkloadSpec.make(
+            "micro.syncstorm", threads=workload.threads,
+            events_per_second=workload.events_per_second,
+            duration_cycles=workload.duration_cycles,
+        )
+    if isinstance(workload, IdlePeriodWorkload):
+        return WorkloadSpec.make(
+            "micro.idleperiod", idle_ns=workload.idle_ns,
+            iterations=workload.iterations, work_cycles=workload.work_cycles,
+        )
+    if isinstance(workload, PingPongWorkload):
+        return WorkloadSpec.make(
+            "micro.pingpong", rounds=workload.rounds,
+            work_cycles=workload.work_cycles, same_vcpu=workload.same_vcpu,
+        )
+    if isinstance(workload, NetServiceWorkload) and workload.profile is DATACENTER_10G:
+        return WorkloadSpec.make(
+            "netserve", workers=workload.workers, requests=workload.requests,
+            request_bytes=workload.request_bytes, think_cycles=workload.think_cycles,
+        )
+    raise GridError(f"cannot describe workload {type(workload).__name__} as a spec")

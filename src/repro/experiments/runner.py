@@ -157,10 +157,18 @@ def run_comparison(
 
     This is the paper's measurement: the same workload, the same
     machine, the same seed — only the guest's tick management differs.
+    A caller-supplied ``label`` names the comparison *and* is propagated
+    into both runs' metrics (as ``label/<mode>``), so per-seed runs stay
+    attributable when replicated or cached.
     """
-    base = run_workload(workload, tick_mode=baseline, **kwargs)
-    cand = run_workload(workload, tick_mode=candidate, **kwargs)
-    return compare_runs(base, cand, label or workload.name), base, cand
+    stem = label or workload.name
+    base = run_workload(
+        workload, tick_mode=baseline, label=f"{stem}/{baseline.value}", **kwargs
+    )
+    cand = run_workload(
+        workload, tick_mode=candidate, label=f"{stem}/{candidate.value}", **kwargs
+    )
+    return compare_runs(base, cand, stem), base, cand
 
 
 def run_replicated_comparison(
@@ -168,6 +176,10 @@ def run_replicated_comparison(
     *,
     seeds: tuple[int, ...] = (0, 1, 2),
     label: Optional[str] = None,
+    jobs: Optional[int] = None,
+    cache_dir=None,
+    use_cache: bool = False,
+    progress=None,
     **kwargs,
 ) -> tuple[Comparison, dict[str, float]]:
     """The paper's methodology (§6): repeat each experiment over several
@@ -175,24 +187,87 @@ def run_replicated_comparison(
     returned alongside ("a deviation of 5% is possible due to the
     multitude of non-deterministic factors").
 
+    The (seed x tick-mode) grid runs through the parallel experiment
+    engine (:mod:`repro.experiments.parallel`): ``jobs=N`` fans the
+    replicas out over worker processes and ``use_cache``/``cache_dir``
+    reuse previously computed cells. Workloads the engine cannot
+    describe declaratively (or a live ``tracer``) fall back to the
+    serial in-process loop.
+
     Returns the mean comparison and a dict of standard deviations
     (``vm_exits`` / ``throughput`` / ``exec_time``).
+
+    Raises:
+        ValueError: if ``seeds`` is empty — a replication without at
+            least one seed has no defined mean.
     """
     from repro.sim.stats import OnlineStats
 
     if not seeds:
         raise ValueError("need at least one seed")
+    baseline = kwargs.pop("baseline", TickMode.TICKLESS)
+    candidate = kwargs.pop("candidate", TickMode.PARATICK)
+    stem = label or workload.name
+    comparisons = _replicated_comparisons(
+        workload, seeds=seeds, stem=stem, baseline=baseline, candidate=candidate,
+        jobs=jobs, cache_dir=cache_dir, use_cache=use_cache, progress=progress,
+        **kwargs,
+    )
     stats = {m: OnlineStats() for m in ("vm_exits", "throughput", "exec_time")}
-    for seed in seeds:
-        comp, _b, _c = run_comparison(workload, seed=seed, label=label, **kwargs)
+    for comp in comparisons:
         stats["vm_exits"].add(comp.vm_exits)
         stats["throughput"].add(comp.throughput)
         stats["exec_time"].add(comp.exec_time)
     mean = Comparison(
-        label=label or workload.name,
+        label=stem,
         vm_exits=stats["vm_exits"].mean,
         throughput=stats["throughput"].mean,
         exec_time=stats["exec_time"].mean,
     )
     sds = {m: (s.stdev if s.n > 1 else 0.0) for m, s in stats.items()}
     return mean, sds
+
+
+def _replicated_comparisons(
+    workload: Workload,
+    *,
+    seeds: tuple[int, ...],
+    stem: str,
+    baseline: TickMode,
+    candidate: TickMode,
+    jobs: Optional[int],
+    cache_dir,
+    use_cache: bool,
+    progress,
+    **kwargs,
+) -> list[Comparison]:
+    """Per-seed comparisons, engine-first with a serial fallback."""
+    from repro.experiments import parallel
+
+    try:
+        pairs = []
+        specs = []
+        for seed in seeds:
+            b = parallel.spec_for(
+                workload, tick_mode=baseline, seed=seed,
+                label=f"{stem}/{baseline.value}", **kwargs,
+            )
+            c = parallel.spec_for(
+                workload, tick_mode=candidate, seed=seed,
+                label=f"{stem}/{candidate.value}", **kwargs,
+            )
+            pairs.append((b, c))
+            specs += [b, c]
+    except parallel.GridError:
+        # Not expressible as a declarative grid: run serially in-process.
+        return [
+            run_comparison(
+                workload, seed=seed, label=stem,
+                baseline=baseline, candidate=candidate, **kwargs,
+            )[0]
+            for seed in seeds
+        ]
+    grid = parallel.run_grid(
+        specs, jobs=jobs, cache_dir=cache_dir, use_cache=use_cache, progress=progress
+    ).raise_if_failed()
+    return [compare_runs(grid[b], grid[c], stem) for b, c in pairs]

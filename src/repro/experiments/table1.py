@@ -16,10 +16,8 @@ from dataclasses import dataclass
 
 from repro.config import TickMode
 from repro.core.model import TABLE1_PAPER, table1_row
-from repro.experiments.runner import run_workload
 from repro.metrics.report import format_table
 from repro.sim.timebase import SEC
-from repro.workloads.micro import IdleWorkload, SyncStormWorkload
 
 
 @dataclass(frozen=True)
@@ -45,26 +43,62 @@ def analytical_rows() -> list[Table1Row]:
     return rows
 
 
-def simulated_cross_check(*, duration_ns: int = SEC, seed: int = 0) -> dict[str, dict[str, float]]:
+def cross_check_specs(*, duration_ns: int = SEC, seed: int = 0):
+    """The W1/W3 cross-check as a declarative grid.
+
+    Returns ``(specs, horizon_map)`` where ``specs`` maps
+    ``(workload_name, TickMode)`` to its :class:`RunSpec`.
+    """
+    from repro.experiments.parallel import RunSpec, WorkloadSpec
+
+    w1 = WorkloadSpec.make("micro.idle", vcpus=16)
+    w3 = WorkloadSpec.make(
+        "micro.syncstorm", threads=16, events_per_second=1000.0,
+        duration_cycles=int(2.2e9 * duration_ns / SEC),
+    )
+    specs = {}
+    for mode in (TickMode.PERIODIC, TickMode.TICKLESS):
+        specs[("W1", mode)] = RunSpec(
+            w1, tick_mode=mode, seed=seed, noise=False,
+            horizon_ns=duration_ns, label=f"W1/{mode.value}",
+        )
+        specs[("W3", mode)] = RunSpec(
+            w3, tick_mode=mode, seed=seed, noise=False,
+            horizon_ns=10 * duration_ns, label=f"W3/{mode.value}",
+        )
+    return specs
+
+
+def simulated_cross_check(
+    *,
+    duration_ns: int = SEC,
+    seed: int = 0,
+    jobs: int | None = None,
+    cache_dir=None,
+    use_cache: bool = False,
+    progress=None,
+) -> dict[str, dict[str, float]]:
     """Simulate W1 and W3 (1 s) and report exits/s per mode.
 
     W2/W4 are four copies of W1/W3 and add nothing mechanical; the
-    analytical model covers their scaling exactly.
+    analytical model covers their scaling exactly. The four cells run
+    through the parallel experiment engine (``--jobs``/cache aware).
     """
-    out: dict[str, dict[str, float]] = {}
+    from repro.experiments.parallel import run_grid
 
-    w1 = IdleWorkload(vcpus=16)
-    out["W1"] = {}
-    for mode in (TickMode.PERIODIC, TickMode.TICKLESS):
-        m = run_workload(w1, tick_mode=mode, noise=False, horizon_ns=duration_ns, seed=seed)
-        out["W1"][mode.value] = m.total_exits / (duration_ns / SEC)
+    specs = cross_check_specs(duration_ns=duration_ns, seed=seed)
+    grid = run_grid(
+        list(specs.values()), jobs=jobs, cache_dir=cache_dir,
+        use_cache=use_cache, progress=progress,
+    ).raise_if_failed()
 
-    out["W3"] = {}
-    w3 = SyncStormWorkload(threads=16, events_per_second=1000.0,
-                           duration_cycles=int(2.2e9 * duration_ns / SEC))
-    for mode in (TickMode.PERIODIC, TickMode.TICKLESS):
-        m = run_workload(w3, tick_mode=mode, noise=False, horizon_ns=10 * duration_ns, seed=seed)
-        out["W3"][mode.value] = m.total_exits / (m.exec_time_ns / SEC)
+    out: dict[str, dict[str, float]] = {"W1": {}, "W3": {}}
+    for (name, mode), spec in specs.items():
+        m = grid[spec]
+        if name == "W1":
+            out[name][mode.value] = m.total_exits / (duration_ns / SEC)
+        else:
+            out[name][mode.value] = m.total_exits / (m.exec_time_ns / SEC)
     return out
 
 

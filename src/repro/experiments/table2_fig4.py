@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.experiments.runner import run_comparison
+from repro.experiments.parallel import WorkloadSpec, ab_specs, compare_from_grid, run_grid
 from repro.metrics.aggregate import aggregate_improvements
 from repro.metrics.report import Comparison, format_table
 from repro.workloads import parsec
@@ -40,11 +40,31 @@ class Fig4Result:
         )
 
 
-def run(*, target_cycles: int = 300_000_000, seed: int = 0) -> Fig4Result:
-    """Run all 13 benchmarks sequentially in both modes."""
-    comps = []
+def run(
+    *,
+    target_cycles: int = 300_000_000,
+    seed: int = 0,
+    jobs: int | None = None,
+    cache_dir=None,
+    use_cache: bool = False,
+    progress=None,
+) -> Fig4Result:
+    """Run all 13 benchmarks sequentially in both modes.
+
+    The 13 x 2 grid goes through the parallel experiment engine:
+    ``jobs=N`` fans benchmarks out over worker processes, and the
+    result cache (``use_cache``/``cache_dir``) re-executes only cells
+    whose spec changed since the last sweep.
+    """
+    pairs = []
+    specs = []
     for bench in parsec.BENCHMARK_NAMES:
-        wl = parsec.benchmark(bench, target_cycles=target_cycles)
-        comp, _base, _cand = run_comparison(wl, seed=seed, label=bench)
-        comps.append(comp)
+        ws = WorkloadSpec.make("parsec", name=bench, target_cycles=target_cycles)
+        b, c = ab_specs(ws, seed=seed, label=bench)
+        pairs.append((bench, b, c))
+        specs += [b, c]
+    grid = run_grid(
+        specs, jobs=jobs, cache_dir=cache_dir, use_cache=use_cache, progress=progress
+    ).raise_if_failed()
+    comps = [compare_from_grid(grid, b, c, bench) for bench, b, c in pairs]
     return Fig4Result(comps, aggregate_improvements(comps, label="average (Table 2)"))

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.experiments.runner import run_comparison
+from repro.experiments.parallel import WorkloadSpec, ab_specs, compare_from_grid, run_grid
 from repro.experiments.scenarios import VM_SIZES, VmSize, pins_for_size
 from repro.metrics.aggregate import aggregate_improvements
 from repro.metrics.report import Comparison, format_table
@@ -58,15 +58,31 @@ def run_size(
     benches: tuple[str, ...] = parsec.BENCHMARK_NAMES,
     target_cycles: int | None = None,
     seed: int = 0,
+    jobs: int | None = None,
+    cache_dir=None,
+    use_cache: bool = False,
+    progress=None,
 ) -> Fig5Result:
-    """One VM-size scenario across the benchmark list."""
+    """One VM-size scenario across the benchmark list.
+
+    The benchmark x tick-mode grid runs through the parallel experiment
+    engine (``jobs``/cache aware; see :mod:`repro.experiments.parallel`).
+    """
     budget = target_cycles if target_cycles is not None else DEFAULT_BUDGETS[size.name]
     pins = pins_for_size(size)
-    comps = []
+    pairs = []
+    specs = []
     for bench in benches:
-        wl = parsec.benchmark(bench, threads=size.vcpus, target_cycles=budget)
-        comp, _b, _c = run_comparison(wl, pinned_cpus=pins, seed=seed, label=bench)
-        comps.append(comp)
+        ws = WorkloadSpec.make(
+            "parsec", name=bench, threads=size.vcpus, target_cycles=budget
+        )
+        b, c = ab_specs(ws, seed=seed, pinned_cpus=pins, label=f"{size.name}.{bench}")
+        pairs.append((bench, b, c))
+        specs += [b, c]
+    grid = run_grid(
+        specs, jobs=jobs, cache_dir=cache_dir, use_cache=use_cache, progress=progress
+    ).raise_if_failed()
+    comps = [compare_from_grid(grid, b, c, bench) for bench, b, c in pairs]
     return Fig5Result(size, comps, aggregate_improvements(comps, label=f"average ({size.name})"))
 
 

@@ -18,10 +18,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.config import IoDeviceKind
-from repro.experiments.runner import run_workload
+from repro.experiments.parallel import WorkloadSpec, ab_specs, run_grid
 from repro.metrics.aggregate import aggregate_improvements
+from repro.metrics.perf import RunMetrics
 from repro.metrics.report import Comparison, format_table
-from repro.config import TickMode
 from repro.workloads import fio
 
 #: The paper's Table 4.
@@ -49,12 +49,10 @@ class Fig6Result:
         )
 
 
-def _compare_job(workload: fio.FioWorkload, *, device: IoDeviceKind, seed: int) -> Comparison:
-    base = run_workload(workload, tick_mode=TickMode.TICKLESS, device_kind=device, seed=seed)
-    cand = run_workload(workload, tick_mode=TickMode.PARATICK, device_kind=device, seed=seed)
+def _io_comparison(base: RunMetrics, cand: RunMetrics, label: str) -> Comparison:
     # I/O throughput = bytes / time; same byte count both runs.
     return Comparison(
-        label=workload.name,
+        label=label,
         vm_exits=cand.total_exits / base.total_exits - 1.0,
         throughput=base.exec_time_ns / cand.exec_time_ns - 1.0,
         exec_time=cand.exec_time_ns / base.exec_time_ns - 1.0,
@@ -67,13 +65,30 @@ def run(
     block_sizes: tuple[int, ...] = fio.BLOCK_SIZES,
     device: IoDeviceKind = IoDeviceKind.SATA_SSD,
     seed: int = 0,
+    jobs: int | None = None,
+    cache_dir=None,
+    use_cache: bool = False,
+    progress=None,
 ) -> Fig6Result:
-    """The full category x block-size sweep, aggregated per category."""
+    """The full category x block-size sweep, aggregated per category.
+
+    The category x block-size x tick-mode grid runs through the
+    parallel experiment engine (``jobs``/cache aware).
+    """
+    pairs: dict[str, list] = {cat: [] for cat in fio.CATEGORIES}
+    specs = []
+    for cat in fio.CATEGORIES:
+        for bs in block_sizes:
+            ws = WorkloadSpec.make("fio", category=cat, block_size=bs, total_bytes=total_bytes)
+            label = f"{cat}.{bs // 1024}k"
+            b, c = ab_specs(ws, seed=seed, device_kind=device, label=label)
+            pairs[cat].append((label, b, c))
+            specs += [b, c]
+    grid = run_grid(
+        specs, jobs=jobs, cache_dir=cache_dir, use_cache=use_cache, progress=progress
+    ).raise_if_failed()
     per_category = []
     for cat in fio.CATEGORIES:
-        comps = [
-            _compare_job(fio.job(cat, bs, total_bytes=total_bytes), device=device, seed=seed)
-            for bs in block_sizes
-        ]
+        comps = [_io_comparison(grid[b], grid[c], label) for label, b, c in pairs[cat]]
         per_category.append(aggregate_improvements(comps, label=cat))
     return Fig6Result(per_category, aggregate_improvements(per_category, label="average (Table 4)"))

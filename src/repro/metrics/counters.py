@@ -77,5 +77,34 @@ class ExitCounters:
         out._by_vcpu = self._by_vcpu + other._by_vcpu
         return out
 
+    # --------------------------------------------------------- serialization
+
+    def to_dict(self) -> dict:
+        """JSON-safe encoding (the experiment cache stores these)."""
+        return {
+            "by_key": [
+                [k.reason.value, k.tag.value, c]
+                for k, c in sorted(
+                    self._by_key.items(), key=lambda kc: (kc[0].reason.value, kc[0].tag.value)
+                )
+            ],
+            "by_vcpu": {str(i): c for i, c in sorted(self._by_vcpu.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExitCounters":
+        """Inverse of :meth:`to_dict`; raises on malformed input."""
+        out = cls()
+        for reason, tag, count in data["by_key"]:
+            out._by_key[ExitRecordKey(ExitReason(reason), ExitTag(tag))] = int(count)
+        for idx, count in data["by_vcpu"].items():
+            out._by_vcpu[int(idx)] = int(count)
+        return out
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ExitCounters):
+            return NotImplemented
+        return self._by_key == other._by_key and self._by_vcpu == other._by_vcpu
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<ExitCounters total={self.total} timer={self.timer_related}>"

@@ -52,6 +52,36 @@ class RunMetrics:
     def exits_per_second(self) -> float:
         return self.total_exits / (self.exec_time_ns / 1e9) if self.exec_time_ns else 0.0
 
+    # --------------------------------------------------------- serialization
+
+    def to_json_dict(self) -> dict:
+        """JSON-safe encoding; the experiment result cache round-trips
+        through this, so it must capture *every* field."""
+        return {
+            "label": self.label,
+            "exec_time_ns": self.exec_time_ns,
+            "total_cycles": self.total_cycles,
+            "useful_cycles": self.useful_cycles,
+            "overhead_cycles": self.overhead_cycles,
+            "exits": self.exits.to_dict(),
+            "ledger": {d.value: ns for d, ns in sorted(self.ledger.items(), key=lambda kv: kv[0].value)},
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "RunMetrics":
+        """Inverse of :meth:`to_json_dict`; raises on malformed input."""
+        return cls(
+            label=data["label"],
+            exec_time_ns=int(data["exec_time_ns"]),
+            total_cycles=int(data["total_cycles"]),
+            useful_cycles=int(data["useful_cycles"]),
+            overhead_cycles=int(data["overhead_cycles"]),
+            exits=ExitCounters.from_dict(data["exits"]),
+            ledger={CycleDomain(d): int(ns) for d, ns in data["ledger"].items()},
+            extra={k: v for k, v in data["extra"].items()},
+        )
+
 
 def collect_metrics(
     label: str,
