@@ -1,0 +1,400 @@
+"""Streaming invariant checkers for the timer path.
+
+Each :class:`Checker` consumes the structured trace online (no record
+retention) and accumulates :class:`Violation`\\ s; :class:`TickSanitizer`
+is the :class:`~repro.sim.trace.Tracer` that fans every record out to a
+checker battery, so *any* run — test, benchmark, fuzz sweep — becomes a
+self-checking artifact simply by passing ``tracer=TickSanitizer(...)``.
+
+The battery encodes the legality rules behind the paper's Fig. 1/Fig. 3
+state machines and KVM's preemption-timer optimization (§3):
+
+* arm/cancel/fire pairing for LAPIC timers, the VMX preemption timer,
+  the guest TSC deadline and the host stand-in timer;
+* the per-vCPU run-state machine of ``repro.host.kvm._VcpuExec``;
+* tick-sched mode transitions (stop/restart alternation, and that only
+  the tickless policy ever performs them);
+* vector-235 legality (only paratick guests may receive virtual ticks);
+* the event schema itself (:mod:`repro.analysis.events`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional
+
+from repro.analysis import events as ev
+from repro.config import TickMode
+from repro.hw.interrupts import Vector
+from repro.sim.trace import TraceRecord, Tracer
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach, attributable to a checker and a source."""
+
+    time: int
+    checker: str
+    source: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.time:>12}ns] {self.checker}: {self.source}: {self.message}"
+
+
+class Checker:
+    """Base streaming checker. Subclasses implement :meth:`on_event`."""
+
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self.violations: list[Violation] = []
+        #: Records this checker actually inspected (for battery stats).
+        self.seen = 0
+
+    def report(self, record: TraceRecord, message: str) -> None:
+        self.violations.append(Violation(record.time, self.name, record.source, message))
+
+    def on_event(self, record: TraceRecord) -> None:
+        raise NotImplementedError
+
+    def finish(self) -> None:
+        """End-of-run hook for invariants that need the full stream."""
+
+
+class SchemaChecker(Checker):
+    """Every record must carry a registered kind and a well-formed detail."""
+
+    name = "schema"
+
+    def on_event(self, record: TraceRecord) -> None:
+        self.seen += 1
+        err = ev.validate_record(record)
+        if err is not None:
+            self.report(record, err)
+
+
+#: Legal _VcpuExec transitions (besides ``any -> off``, shutdown).
+_VCPU_TRANSITIONS = frozenset(
+    {
+        ("init", "exited"),    # start()
+        ("exited", "guest"),   # VM entry completed
+        ("guest", "exited"),   # VM exit
+        ("exited", "halted"),  # HLT block
+        ("halted", "exited"),  # wake
+        ("exited", "ready"),   # CPU busy: queued (overcommit)
+        ("ready", "exited"),   # dispatched
+    }
+)
+
+
+class VcpuStateChecker(Checker):
+    """The vCPU run-state machine only takes legal steps."""
+
+    name = "vcpu-state"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._state: dict[str, str] = {}
+
+    def on_event(self, record: TraceRecord) -> None:
+        if record.kind != "vcpu_state" or ev.validate_record(record) is not None:
+            return
+        self.seen += 1
+        old, new = record.detail
+        known = self._state.get(record.source)
+        if known is not None and known != old:
+            self.report(record, f"transition from {old!r} but tracked state is {known!r}")
+        if new != "off" and (old, new) not in _VCPU_TRANSITIONS:
+            self.report(record, f"illegal transition {old!r} -> {new!r}")
+        if known == "off":
+            self.report(record, f"transition {old!r} -> {new!r} after shutdown")
+        self._state[record.source] = new
+
+
+class PreemptionTimerChecker(Checker):
+    """VMX preemption timer start/stop/fire pairing (§3).
+
+    The countdown runs only between a ``ptimer_start`` and the matching
+    ``ptimer_stop``/``ptimer_fire``; it must fire at or after the
+    deadline it was started with, and only while the owning vCPU is in
+    guest mode (the hardware counts down only in non-root mode).
+    """
+
+    name = "preemption-timer"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._running: dict[str, int] = {}  # source -> started deadline
+        self._vcpu_state: dict[str, str] = {}
+
+    def on_event(self, record: TraceRecord) -> None:
+        kind = record.kind
+        if kind == "vcpu_state" and ev.validate_record(record) is None:
+            self._vcpu_state[record.source] = record.detail[1]
+            return
+        if not kind.startswith("ptimer_") or ev.validate_record(record) is not None:
+            return
+        self.seen += 1
+        src = record.source
+        if kind == "ptimer_start":
+            if src in self._running:
+                self.report(record, "started while already counting down")
+            self._running[src] = record.detail
+        elif kind == "ptimer_stop":
+            if src not in self._running:
+                self.report(record, "stopped but was not counting down")
+            self._running.pop(src, None)
+        elif kind == "ptimer_fire":
+            deadline = self._running.pop(src, None)
+            if deadline is None:
+                self.report(record, "fired without a start")
+            elif record.time < deadline:
+                self.report(record, f"fired at {record.time} before deadline {deadline}")
+            if self._vcpu_state.get(ev.vcpu_of(src)) not in (None, "guest"):
+                self.report(record, "fired while vCPU not in guest mode")
+
+
+class LapicChecker(Checker):
+    """LAPIC arm/disarm/fire pairing, for the hardware model and KVM's
+    periodic vLAPIC emulation alike.
+
+    A fire requires a pending arm; a one-shot or deadline arm is
+    consumed by its fire while a periodic arm survives (the hardware
+    re-fires without reprogramming — the §3.1 point); re-arming without
+    an intervening disarm/fire never happens in the model (the arm
+    paths cancel first), so the checker flags it.
+    """
+
+    name = "lapic"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._armed: dict[str, tuple[str, int]] = {}  # source -> (mode, expiry)
+
+    def on_event(self, record: TraceRecord) -> None:
+        kind = record.kind
+        if not kind.startswith("lapic_") or ev.validate_record(record) is not None:
+            return
+        self.seen += 1
+        src = record.source
+        if kind == "lapic_arm":
+            if src in self._armed:
+                self.report(record, "double arm without disarm/fire")
+            self._armed[src] = record.detail
+        elif kind == "lapic_disarm":
+            self._armed.pop(src, None)  # disarming an idle timer is legal
+        elif kind == "lapic_fire":
+            armed = self._armed.get(src)
+            if armed is None:
+                self.report(record, "fired while not armed")
+                return
+            mode, expiry = armed
+            if record.detail[0] != mode:
+                self.report(record, f"fired in mode {record.detail[0]!r} but armed as {mode!r}")
+            if record.time < expiry:
+                self.report(record, f"fired at {record.time} before expiry {expiry}")
+            if mode != "periodic":
+                del self._armed[src]
+
+
+class GuestDeadlineChecker(Checker):
+    """Guest TSC-deadline lifecycle across KVM's two delivery paths.
+
+    ``deadline_set`` arms (re-arming is a legal reprogram), and a
+    ``deadline_fire`` — via the preemption timer in guest mode or the
+    host stand-in while blocked — requires an armed deadline, must not
+    fire early, and consumes it. The host stand-in timer itself must
+    pair its arms with a cancel or a fire.
+    """
+
+    name = "guest-deadline"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._deadline: dict[str, int] = {}
+        self._host_armed: dict[str, int] = {}
+
+    def on_event(self, record: TraceRecord) -> None:
+        kind = record.kind
+        if kind not in (
+            "deadline_set", "deadline_clear", "deadline_fire",
+            "hostdl_arm", "hostdl_cancel", "hostdl_fire",
+        ) or ev.validate_record(record) is not None:
+            return
+        self.seen += 1
+        src = record.source
+        if kind == "deadline_set":
+            self._deadline[src] = record.detail
+        elif kind == "deadline_clear":
+            self._deadline.pop(src, None)
+        elif kind == "deadline_fire":
+            armed = self._deadline.pop(src, None)
+            fired, _via = record.detail
+            if armed is None:
+                self.report(record, "deadline fired but none was armed")
+            else:
+                if fired != armed:
+                    self.report(record, f"fired deadline {fired} but {armed} was armed")
+                if record.time < armed:
+                    self.report(record, f"fired at {record.time} before deadline {armed}")
+        elif kind == "hostdl_arm":
+            if src in self._host_armed:
+                self.report(record, "host stand-in armed twice")
+            self._host_armed[src] = record.detail
+        elif kind == "hostdl_cancel":
+            if src not in self._host_armed:
+                self.report(record, "host stand-in cancelled but not armed")
+            self._host_armed.pop(src, None)
+        elif kind == "hostdl_fire":
+            when = self._host_armed.pop(src, None)
+            if when is None:
+                self.report(record, "host stand-in fired without an arm")
+            elif record.time < when:
+                self.report(record, f"host stand-in fired at {record.time}, armed for {when}")
+
+
+class TickSchedChecker(Checker):
+    """Tick-sched legality per Fig. 1 / Fig. 3.
+
+    Idle enters/exits alternate (an exit needs a preceding enter;
+    re-entering idle without an exit is how the idle loop re-marks);
+    ``tick_stop``/``tick_restart`` toggle a per-vCPU flag and never
+    repeat; and only the tickless policy performs them — a periodic or
+    paratick guest emitting a tick transition is a policy bug.
+    """
+
+    name = "tick-sched"
+
+    def __init__(self, mode: Optional[TickMode] = None) -> None:
+        super().__init__()
+        self.mode = mode
+        self._idle_depth: dict[str, int] = {}
+        self._stopped: dict[str, bool] = {}
+
+    def on_event(self, record: TraceRecord) -> None:
+        kind = record.kind
+        if kind not in ("idle_enter", "idle_exit", "tick_stop", "tick_restart", "tick_kept"):
+            return
+        self.seen += 1
+        src = record.source
+        if kind == "idle_enter":
+            self._idle_depth[src] = self._idle_depth.get(src, 0) + 1
+        elif kind == "idle_exit":
+            if self._idle_depth.get(src, 0) < 1:
+                self.report(record, "idle_exit without idle_enter")
+            self._idle_depth[src] = 0
+        elif kind in ("tick_stop", "tick_restart", "tick_kept"):
+            if self.mode is not None and self.mode is not TickMode.TICKLESS:
+                self.report(record, f"{kind} under {self.mode.value} policy")
+            stopped = self._stopped.get(src, False)
+            if kind == "tick_stop":
+                if stopped:
+                    self.report(record, "tick stopped twice")
+                self._stopped[src] = True
+            elif kind == "tick_restart":
+                if not stopped:
+                    self.report(record, "tick restarted but was not stopped")
+                self._stopped[src] = False
+            elif kind == "tick_kept" and stopped:
+                self.report(record, "tick_kept while tick is stopped")
+
+
+class InjectChecker(Checker):
+    """Injection legality: virtual ticks (vector 235) reach only
+    paratick guests (§5.2.1), and every injected vector is one the
+    hypervisor can legally deliver."""
+
+    name = "inject"
+
+    def __init__(self, mode: Optional[TickMode] = None) -> None:
+        super().__init__()
+        self.mode = mode
+        self._legal = frozenset(int(v) for v in Vector)
+
+    def on_event(self, record: TraceRecord) -> None:
+        if record.kind != "inject" or ev.validate_record(record) is not None:
+            return
+        self.seen += 1
+        for v in record.detail:
+            if v not in self._legal:
+                self.report(record, f"unknown vector {v} injected")
+            if (
+                v == int(Vector.PARATICK_VIRTUAL_TICK)
+                and self.mode is not None
+                and self.mode is not TickMode.PARATICK
+            ):
+                self.report(record, f"vector 235 injected into a {self.mode.value} guest")
+
+
+def default_checkers(mode: Optional[TickMode] = None) -> list[Checker]:
+    """The full battery; ``mode`` enables mode-specific invariants."""
+    return [
+        SchemaChecker(),
+        VcpuStateChecker(),
+        PreemptionTimerChecker(),
+        LapicChecker(),
+        GuestDeadlineChecker(),
+        TickSchedChecker(mode),
+        InjectChecker(mode),
+    ]
+
+
+class TickSanitizer(Tracer):
+    """A tracer that runs the checker battery on every record, online.
+
+    Attach directly (``run_workload(..., tracer=TickSanitizer())``) or
+    alongside another tracer through :class:`~repro.sim.trace.TeeTracer`.
+    It also tallies ``vmexit`` records per (reason, tag) so the exit
+    counters can be reconciled afterwards
+    (:func:`repro.analysis.reconcile.reconcile_exits`).
+    """
+
+    enabled = True
+
+    def __init__(self, checkers: Optional[Iterable[Checker]] = None,
+                 mode: Optional[TickMode] = None):
+        self.checkers = list(checkers) if checkers is not None else default_checkers(mode)
+        self.events = 0
+        #: (reason_value, tag_value) -> traced exit count.
+        self.exit_tally: dict[tuple[str, str], int] = {}
+        self._finished = False
+
+    def emit(self, time: int, source: str, kind: str, detail: Any = None) -> None:
+        record = TraceRecord(time, source, kind, detail)
+        self.events += 1
+        if kind == "vmexit" and isinstance(detail, tuple) and len(detail) == 2:
+            self.exit_tally[detail] = self.exit_tally.get(detail, 0) + 1
+        for checker in self.checkers:
+            checker.on_event(record)
+
+    def feed(self, records: Iterable[TraceRecord]) -> "TickSanitizer":
+        """Replay an existing record stream (offline checking)."""
+        for r in records:
+            self.emit(r.time, r.source, r.kind, r.detail)
+        return self
+
+    def finish(self) -> list[Violation]:
+        """Run end-of-stream checks once and return all violations."""
+        if not self._finished:
+            self._finished = True
+            for checker in self.checkers:
+                checker.finish()
+        return self.violations
+
+    @property
+    def violations(self) -> list[Violation]:
+        out: list[Violation] = []
+        for checker in self.checkers:
+            out.extend(checker.violations)
+        out.sort(key=lambda v: (v.time, v.checker))
+        return out
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        """One line per checker: records inspected and violations found."""
+        parts = [f"{c.name}: {c.seen} seen, {len(c.violations)} bad" for c in self.checkers]
+        return f"{self.events} events | " + "; ".join(parts)

@@ -1,0 +1,260 @@
+"""Differential fuzz harness for the timer path.
+
+Each seed deterministically expands into one randomized scenario (a
+workload, tick rate, noise/cpuidle knobs and a horizon, drawn from the
+same :class:`~repro.sim.rng.RngStreams` machinery the simulator uses),
+which then runs under **all three tick modes** — periodic, tickless,
+paratick — in both a solo (1:1 pinned) and an overcommitted placement,
+every run wrapped in the :class:`~repro.analysis.checkers.TickSanitizer`
+and reconciled afterwards (:mod:`repro.analysis.reconcile`).
+
+Two properties must hold for every seed:
+
+1. **sanitizer-clean** — no run, in any mode or placement, violates a
+   timer-path invariant or drifts from its own counters/ledger;
+2. **differential** — tick management must not change the work done:
+   every main task completes under every mode, and the useful
+   (GUEST_USER) cycle totals agree across modes to within a small
+   tolerance (preemption splits re-quantize ns↔cycles with round-up, so
+   bit-equality is not expected; §4's claim is precisely that only the
+   *overhead* differs).
+
+Replay a failure with ``python -m repro fuzz --seed N``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis.checkers import TickSanitizer
+from repro.analysis.reconcile import reconcile_run
+from repro.config import MachineSpec, TickMode
+from repro.errors import ReproError
+from repro.experiments.runner import run_workload
+from repro.metrics.perf import RunMetrics
+from repro.sim.rng import RngStreams
+from repro.sim.timebase import MSEC, USEC
+from repro.workloads.base import Workload
+from repro.workloads.micro import (
+    IdlePeriodWorkload,
+    IdleWorkload,
+    PingPongWorkload,
+    SyncStormWorkload,
+)
+
+#: Relative tolerance on useful cycles across tick modes; the absolute
+#: slack covers tiny runs where one noise burst dominates the ratio.
+USEFUL_REL_TOL = 0.02
+USEFUL_ABS_SLACK = 200_000
+
+#: Placement labels used in problem reports.
+SOLO, OVERCOMMIT = "solo", "overcommit"
+
+
+@dataclass(frozen=True)
+class FuzzScenario:
+    """One deterministic scenario, fully described by its seed."""
+
+    seed: int
+    kind: str
+    params: tuple[tuple[str, int], ...]
+    tick_hz: int
+    noise: bool
+    cpuidle: bool
+    horizon_ns: int
+
+    def param(self, name: str) -> int:
+        return dict(self.params)[name]
+
+    def make_workload(self) -> Workload:
+        """A fresh workload instance (task generators are single-use)."""
+        p = dict(self.params)
+        if self.kind == "pingpong":
+            return PingPongWorkload(
+                rounds=p["rounds"], work_cycles=p["work_cycles"],
+                same_vcpu=bool(p["same_vcpu"]),
+            )
+        if self.kind == "syncstorm":
+            return SyncStormWorkload(
+                threads=p["threads"], events_per_second=float(p["events_hz"]),
+                duration_cycles=p["duration_cycles"],
+            )
+        if self.kind == "idleperiod":
+            return IdlePeriodWorkload(
+                p["idle_ns"], iterations=p["iterations"], work_cycles=p["work_cycles"],
+            )
+        if self.kind == "idle":
+            return IdleWorkload(vcpus=p["vcpus"])
+        raise ValueError(f"unknown scenario kind {self.kind!r}")
+
+    def describe(self) -> str:
+        knobs = ", ".join(f"{k}={v}" for k, v in self.params)
+        return (
+            f"seed {self.seed}: {self.kind}({knobs}) @ {self.tick_hz} Hz, "
+            f"noise={'on' if self.noise else 'off'}, "
+            f"cpuidle={'on' if self.cpuidle else 'off'}, "
+            f"horizon={self.horizon_ns / MSEC:.0f}ms"
+        )
+
+
+def scenario_for_seed(seed: int) -> FuzzScenario:
+    """Expand a seed into a scenario (pure function of the seed)."""
+    rng = RngStreams(seed).stream("fuzz.scenario")
+
+    def pick(lo: int, hi: int) -> int:
+        return int(rng.integers(lo, hi + 1))
+
+    kind = ("pingpong", "syncstorm", "idleperiod", "idle")[pick(0, 3)]
+    if kind == "pingpong":
+        params = (
+            ("rounds", pick(50, 250)),
+            ("work_cycles", pick(20_000, 120_000)),
+            ("same_vcpu", pick(0, 1)),
+        )
+    elif kind == "syncstorm":
+        params = (
+            ("threads", pick(2, 4)),
+            ("events_hz", pick(200, 1500)),
+            ("duration_cycles", pick(20, 60) * 1_000_000),
+        )
+    elif kind == "idleperiod":
+        params = (
+            ("idle_ns", pick(50, 3000) * USEC),
+            ("iterations", pick(20, 80)),
+            ("work_cycles", pick(50_000, 200_000)),
+        )
+    else:  # idle
+        params = (("vcpus", pick(1, 3)),)
+    return FuzzScenario(
+        seed=seed,
+        kind=kind,
+        params=params,
+        tick_hz=(100, 250, 1000)[pick(0, 2)],
+        noise=bool(pick(0, 1)),
+        cpuidle=bool(pick(0, 1)),
+        horizon_ns=pick(60, 200) * MSEC if kind == "idle" else 10_000 * MSEC,
+    )
+
+
+def placement_for(nvcpus: int, placement: str) -> tuple[MachineSpec, tuple[int, ...]]:
+    """Machine + pinning for a placement. Overcommit squeezes the vCPUs
+    onto one fewer physical CPU, exercising the READY/preempt paths."""
+    if placement == OVERCOMMIT:
+        pcpus = max(1, nvcpus - 1)
+    else:
+        pcpus = nvcpus
+    spec = MachineSpec(sockets=1, cpus_per_socket=pcpus)
+    return spec, tuple(i % pcpus for i in range(nvcpus))
+
+
+def run_scenario(
+    scenario: FuzzScenario,
+    mode: TickMode,
+    *,
+    placement: str = SOLO,
+) -> tuple[Optional[RunMetrics], TickSanitizer, list[str]]:
+    """One sanitized run; returns (metrics, sanitizer, problems)."""
+    workload = scenario.make_workload()
+    nvcpus = workload.default_vcpus()
+    mspec, pinned = placement_for(nvcpus, placement)
+    sanitizer = TickSanitizer(mode=mode)
+    internals: dict = {}
+
+    def inspect(sim, machine, hv, vm) -> None:
+        internals["machine"] = machine
+        internals["now"] = sim.now
+
+    try:
+        metrics = run_workload(
+            workload,
+            tick_mode=mode,
+            machine_spec=mspec,
+            pinned_cpus=pinned,
+            tick_hz=scenario.tick_hz,
+            seed=scenario.seed,
+            noise=scenario.noise,
+            cpuidle=scenario.cpuidle,
+            horizon_ns=scenario.horizon_ns,
+            tracer=sanitizer,
+            inspect=inspect,
+            label=f"fuzz{scenario.seed}/{scenario.kind}/{mode.value}/{placement}",
+        )
+    except ReproError as exc:
+        sanitizer.finish()
+        return None, sanitizer, [f"run failed: {type(exc).__name__}: {exc}"]
+    problems = [str(v) for v in sanitizer.finish()]
+    problems += reconcile_run(
+        sanitizer, metrics,
+        freq_hz=mspec.freq_hz,
+        machine=internals.get("machine"),
+        now_ns=internals.get("now"),
+    )
+    return metrics, sanitizer, problems
+
+
+def differential_problems(per_mode: dict[TickMode, RunMetrics]) -> list[str]:
+    """Cross-mode comparison: tick management must not change the work."""
+    if len(per_mode) < len(TickMode):
+        return []  # some run already failed; reported individually
+    ref = per_mode[TickMode.TICKLESS]
+    out: list[str] = []
+    allowed = max(int(ref.useful_cycles * USEFUL_REL_TOL), USEFUL_ABS_SLACK)
+    for mode, metrics in per_mode.items():
+        if mode is TickMode.TICKLESS:
+            continue
+        delta = abs(metrics.useful_cycles - ref.useful_cycles)
+        if delta > allowed:
+            out.append(
+                f"useful cycles diverge: {mode.value} did {metrics.useful_cycles} "
+                f"vs tickless {ref.useful_cycles} (|delta| {delta} > {allowed})"
+            )
+    return out
+
+
+@dataclass
+class FuzzReport:
+    """Everything learned from fuzzing one seed."""
+
+    seed: int
+    scenario: FuzzScenario
+    problems: list[str]
+    runs: int
+    events: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+
+def fuzz_seed(seed: int, *, placements: tuple[str, ...] = (SOLO, OVERCOMMIT)) -> FuzzReport:
+    """Run one seed's scenario under every (mode, placement) cell."""
+    scenario = scenario_for_seed(seed)
+    problems: list[str] = []
+    runs = 0
+    events = 0
+    for placement in placements:
+        per_mode: dict[TickMode, RunMetrics] = {}
+        for mode in TickMode:
+            metrics, sanitizer, probs = run_scenario(scenario, mode, placement=placement)
+            runs += 1
+            events += sanitizer.events
+            problems += [f"[{mode.value}/{placement}] {p}" for p in probs]
+            if metrics is not None:
+                per_mode[mode] = metrics
+        problems += [f"[diff/{placement}] {p}" for p in differential_problems(per_mode)]
+    return FuzzReport(seed=seed, scenario=scenario, problems=problems,
+                      runs=runs, events=events)
+
+
+def fuzz_many(
+    seeds, *, placements: tuple[str, ...] = (SOLO, OVERCOMMIT), progress=None
+) -> list[FuzzReport]:
+    """Fuzz a seed range; ``progress(report)`` is called per seed."""
+    reports = []
+    for seed in seeds:
+        report = fuzz_seed(int(seed), placements=placements)
+        reports.append(report)
+        if progress is not None:
+            progress(report)
+    return reports

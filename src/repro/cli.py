@@ -211,6 +211,70 @@ def _cmd_list(args) -> int:
     return 0
 
 
+def _cmd_check(args) -> int:
+    """Run one PARSEC model under the tick sanitizer; exit 1 on violation."""
+    from repro.analysis.checkers import TickSanitizer
+    from repro.analysis.reconcile import reconcile_run
+    from repro.config import MachineSpec
+
+    mode = TickMode(args.mode)
+    wl = parsec.benchmark(args.benchmark, threads=args.threads,
+                          target_cycles=args.target_mcycles * 1_000_000)
+    sanitizer = TickSanitizer(mode=mode)
+    mspec = MachineSpec()
+    internals: dict = {}
+
+    def inspect(sim, machine, hv, vm) -> None:
+        internals["machine"], internals["now"] = machine, sim.now
+
+    m = runner.run_workload(wl, tick_mode=mode, seed=args.seed,
+                            machine_spec=mspec, tracer=sanitizer, inspect=inspect)
+    problems = [str(v) for v in sanitizer.finish()]
+    problems += reconcile_run(sanitizer, m, freq_hz=mspec.freq_hz,
+                              machine=internals.get("machine"),
+                              now_ns=internals.get("now"))
+    print(f"{m.label}: {sanitizer.summary()}")
+    for p in problems:
+        print(f"  VIOLATION: {p}")
+    if problems:
+        print(f"sanitizer: {len(problems)} problem(s)")
+        return 1
+    print("sanitizer: clean")
+    return 0
+
+
+def _cmd_fuzz(args) -> int:
+    """Differential fuzz of the timer path; exit 1 on any violation."""
+    from repro.analysis import fuzz
+
+    placements = (fuzz.SOLO,) if args.solo_only else (fuzz.SOLO, fuzz.OVERCOMMIT)
+    if args.seed_list:
+        seeds = [int(s) for s in args.seed_list]
+    else:
+        seeds = list(range(args.seed, args.seed + args.runs))
+
+    failed: list[int] = []
+
+    def progress(report) -> None:
+        mark = "ok " if report.ok else "FAIL"
+        print(f"[{mark}] {report.scenario.describe()} "
+              f"({report.runs} runs, {report.events} events)")
+        for p in report.problems:
+            print(f"       {p}")
+        if not report.ok:
+            failed.append(report.seed)
+
+    fuzz.fuzz_many(seeds, placements=placements, progress=progress)
+    if failed:
+        print(f"\n{len(failed)}/{len(seeds)} seeds failed: {failed}")
+        print("replay one with: python -m repro fuzz --seed-list "
+              + " ".join(str(s) for s in failed))
+        return 1
+    print(f"\nall {len(seeds)} seeds clean across "
+          f"{len(placements) * 3} mode/placement cells each")
+    return 0
+
+
 def _cmd_run(args) -> int:
     wl = parsec.benchmark(args.benchmark, threads=args.threads,
                           target_cycles=args.target_mcycles * 1_000_000)
@@ -271,6 +335,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     va = sub.add_parser("validate", help="fast self-check of the core invariants")
     va.set_defaults(fn=_cmd_validate)
+
+    ck = sub.add_parser("check", help="run one PARSEC model under the tick sanitizer")
+    ck.add_argument("benchmark", choices=list(parsec.BENCHMARK_NAMES))
+    ck.add_argument("--threads", type=int, default=1)
+    ck.add_argument("--mode", choices=[m.value for m in TickMode], default="tickless")
+    ck.add_argument("--target-mcycles", type=int, default=100)
+    ck.set_defaults(fn=_cmd_check)
+
+    fz = sub.add_parser(
+        "fuzz", help="differential fuzz: 3 tick modes x {solo, overcommit} per seed"
+    )
+    fz.add_argument("--runs", type=int, default=20,
+                    help="number of consecutive seeds starting at --seed")
+    fz.add_argument("--seed-list", nargs="+", metavar="N",
+                    help="fuzz exactly these seeds (replay failures)")
+    fz.add_argument("--solo-only", action="store_true",
+                    help="skip the overcommitted placement")
+    fz.set_defaults(fn=_cmd_fuzz)
 
     run = sub.add_parser("run", help="run one PARSEC model and print its profile")
     run.add_argument("benchmark", choices=list(parsec.BENCHMARK_NAMES))

@@ -44,6 +44,7 @@ def run_workload(
     horizon_ns: int = DEFAULT_HORIZON_NS,
     label: Optional[str] = None,
     tracer=None,
+    inspect=None,
 ) -> RunMetrics:
     """Run one workload in one VM and return its metrics.
 
@@ -52,6 +53,11 @@ def run_workload(
     with main tasks that misses the horizon raises
     :class:`~repro.errors.WorkloadError` rather than reporting a
     truncated measurement.
+
+    ``inspect``, when given, is called as ``inspect(sim, machine, hv,
+    vm)`` after the run ends but before metrics collection — the
+    sanitizer's reconciliation pass uses it to reach simulator internals
+    (per-CPU ledgers) that :class:`RunMetrics` aggregates away.
     """
     nvcpus = vcpus if vcpus is not None else workload.default_vcpus()
     mspec = machine_spec or MachineSpec()
@@ -118,6 +124,9 @@ def run_workload(
         exec_time = result.completed_at_ns
     else:
         exec_time = sim.now  # open-ended workload: ran to the horizon
+
+    if inspect is not None:
+        inspect(sim, machine, hv, vm)
 
     extra = {
         "vcpus": nvcpus,

@@ -67,11 +67,52 @@ def check_paratick_wins_sync() -> str:
     return f"exits {comp.vm_exits:+.1%}, throughput {comp.throughput:+.1%}"
 
 
+def check_sanitizer() -> str:
+    """All three tick modes run sanitizer-clean on a blocking workload,
+    and the trace reconciles against counters and the cycle ledger."""
+    from repro.analysis.checkers import TickSanitizer
+    from repro.analysis.reconcile import reconcile_run
+    from repro.config import MachineSpec
+
+    mspec = MachineSpec(sockets=1, cpus_per_socket=4)
+    events = 0
+    for mode in TickMode:
+        sanitizer = TickSanitizer(mode=mode)
+        internals: dict = {}
+
+        def inspect(sim, machine, hv, vm) -> None:
+            internals["machine"], internals["now"] = machine, sim.now
+
+        m = run_workload(
+            PingPongWorkload(rounds=150), tick_mode=mode, seed=7,
+            machine_spec=mspec, pinned_cpus=(0, 1),
+            tracer=sanitizer, inspect=inspect,
+        )
+        bad = [str(v) for v in sanitizer.finish()]
+        bad += reconcile_run(sanitizer, m, freq_hz=mspec.freq_hz,
+                             machine=internals["machine"], now_ns=internals["now"])
+        assert not bad, f"{mode.value}: {bad[:3]}"
+        assert sanitizer.events > 0, f"{mode.value}: no trace events seen"
+        events += sanitizer.events
+    return f"3 modes clean ({events} events checked)"
+
+
+def check_fuzz_seed() -> str:
+    """One full differential fuzz cell (seed 0) stays clean."""
+    from repro.analysis.fuzz import fuzz_seed
+
+    report = fuzz_seed(0)
+    assert report.ok, report.problems[:3]
+    return f"seed 0: {report.runs} runs, {report.events} events, 0 violations"
+
+
 ALL_CHECKS = (
     ("Table 1 closed forms", check_table1),
     ("determinism", check_determinism),
     ("idle VM behaviour", check_idle_quiet),
     ("paratick vs tickless on blocking sync", check_paratick_wins_sync),
+    ("tick sanitizer battery", check_sanitizer),
+    ("differential fuzz (seed 0)", check_fuzz_seed),
 )
 
 

@@ -146,6 +146,16 @@ class GuestKernel:
     def ctx(self, vidx: int) -> VcpuCtx:
         return self._ctx[vidx]
 
+    def trace_mark(self, vidx: int, kind: str, detail=None) -> None:
+        """Emit a structured guest-side trace event for one vCPU.
+
+        Callers that would *build* a detail object should pre-check
+        ``kernel.sim.trace.enabled`` so NullTracer runs do zero work.
+        """
+        trace = self.sim.trace
+        if trace.enabled:
+            trace.emit(self.sim.now, f"{self.vm.name}/vcpu{vidx}", kind, detail)
+
     def push(self, vidx: int, op: gops.GuestOp) -> None:
         """Append an op for ``vidx`` (redirected during IRQ processing)."""
         if self._push_sink is not None and vidx == self._active_vidx:
@@ -305,6 +315,7 @@ class GuestKernel:
         if desired == ctx.armed_deadline_ns:
             return
         ctx.armed_deadline_ns = desired
+        self.trace_mark(vidx, "timer_program_req", desired)
         self.push(vidx, gops.Compute(self.costs.guest_timer_program, K))
         value = 0 if desired is None else self.hv.tsc.clock.ns_to_cycles(max(desired, self.now() + 1))
         self.push(vidx, gops.Wrmsr(Msr.TSC_DEADLINE, value))
@@ -315,8 +326,7 @@ class GuestKernel:
 
     def _push_idle_enter(self, vidx: int) -> None:
         def after_entry_code() -> None:
-            if self.sim.trace.enabled:
-                self.sim.trace.emit(self.sim.now, f"{self.vm.name}/vcpu{vidx}", "idle_enter")
+            self.trace_mark(vidx, "idle_enter")
             self.policy.on_idle_enter(vidx)
             if self.cpuidle_governor is not None:
                 # cpuidle: pick an idle state from the time to the next
@@ -330,8 +340,7 @@ class GuestKernel:
 
     def _push_idle_exit(self, vidx: int) -> None:
         def after_exit_code() -> None:
-            if self.sim.trace.enabled:
-                self.sim.trace.emit(self.sim.now, f"{self.vm.name}/vcpu{vidx}", "idle_exit")
+            self.trace_mark(vidx, "idle_exit")
             self.policy.on_idle_exit(vidx)
 
         self.push(

@@ -148,10 +148,12 @@ class NohzPolicy(TickPolicy):
         k = self.k
         if not ctx.tick_stopped:
             if self._must_keep_tick(vidx):
+                k.trace_mark(vidx, "tick_kept")
                 return  # tick stays armed; no hardware touched
             ctx.hrtimers.cancel(ctx.tick_hrtimer)
             ctx.tick_hrtimer = None
             ctx.tick_stopped = True
+            k.trace_mark(vidx, "tick_stop")
             k.reprogram_hw(vidx)  # defer to next event, or disarm entirely
         else:
             # Re-entering idle after an interrupt that woke nothing: the
@@ -172,6 +174,7 @@ class NohzPolicy(TickPolicy):
         if not ctx.tick_stopped:
             return
         ctx.tick_stopped = False
+        self.k.trace_mark(vidx, "tick_restart")
         self._enqueue_tick(vidx)
         self.k.reprogram_hw(vidx)
 

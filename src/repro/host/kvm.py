@@ -237,6 +237,7 @@ class _VcpuExec:
         "_poll_start",
         "_virt_periodic_ns",
         "_periodic_event",
+        "_pending_sched_ns",
     )
 
     def __init__(self, hv: Hypervisor, vm: VirtualMachine, vcpu: VCpu):
@@ -246,7 +247,9 @@ class _VcpuExec:
         self.vcpu = vcpu
         self.costs = hv.costs
         self.clock = hv.machine.clock
-        self.preempt_timer = PreemptionTimer(hv.sim, self._on_preempt_timer)
+        self.preempt_timer = PreemptionTimer(
+            hv.sim, self._on_preempt_timer, name=f"{vm.name}/vcpu{vcpu.index}"
+        )
         self._cur_op: Optional[gops.Compute] = None
         self._cur_start = 0
         self._cur_dur = 0
@@ -257,6 +260,18 @@ class _VcpuExec:
         self._poll_start = 0
         self._virt_periodic_ns = 0
         self._periodic_event = None
+        #: Scheduler work (block swtch, wake of a contended vCPU) whose
+        #: cost is deferred until it can occupy this vCPU's timeline.
+        self._pending_sched_ns = 0
+
+    def _trace(self, kind: str, detail=None, *, suffix: str = "") -> None:
+        """Emit a structured event for this vCPU (callers building tuple
+        details should pre-check ``sim.trace.enabled`` themselves)."""
+        trace = self.sim.trace
+        if trace.enabled:
+            trace.emit(
+                self.sim.now, f"{self.vm.name}/vcpu{self.vcpu.index}{suffix}", kind, detail
+            )
 
     # ------------------------------------------------------------ lifecycle
 
@@ -276,6 +291,7 @@ class _VcpuExec:
         if self._periodic_event is not None:
             self.sim.cancel(self._periodic_event)
             self._periodic_event = None
+            self._trace("lapic_disarm", suffix="/vlapic")
         self.preempt_timer.stop()
         self.hv.sched.forget(self.vcpu)
         self.vcpu.state = VcpuState.OFF
@@ -490,8 +506,10 @@ class _VcpuExec:
         if tsc_value == 0:
             self.vcpu.guest_deadline_ns = None
             self.preempt_timer.clear()
+            self._trace("deadline_clear")
         else:
             self.vcpu.guest_deadline_ns = self.hv.tsc.deadline_to_ns(tsc_value)
+            self._trace("deadline_set", self.vcpu.guest_deadline_ns)
 
     def _start_virtual_periodic(self, period_ns: int) -> None:
         """Guest armed its virtual LAPIC in periodic mode."""
@@ -499,11 +517,16 @@ class _VcpuExec:
             raise HostError(f"{self.vcpu!r}: invalid periodic LAPIC period {period_ns}")
         if self._periodic_event is not None:
             self.sim.cancel(self._periodic_event)
+            self._trace("lapic_disarm", suffix="/vlapic")
         self._virt_periodic_ns = period_ns
         self._periodic_event = self.sim.schedule(period_ns, self._virtual_periodic_fire)
+        if self.sim.trace.enabled:
+            self._trace("lapic_arm", ("periodic", self.sim.now + period_ns), suffix="/vlapic")
 
     def _virtual_periodic_fire(self) -> None:
         """One period elapsed: deliver a tick, waking the vCPU if halted."""
+        if self.sim.trace.enabled:
+            self._trace("lapic_fire", ("periodic", int(Vector.LOCAL_TIMER)), suffix="/vlapic")
         self._periodic_event = self.sim.schedule(self._virt_periodic_ns, self._virtual_periodic_fire)
         self.deliver(Vector.LOCAL_TIMER, ExitTag.TIMER_GUEST_TICK)
 
@@ -535,13 +558,20 @@ class _VcpuExec:
     def _block(self) -> None:
         vcpu = self.vcpu
         block_ns = self.clock.cycles_to_ns(self.costs.block_vcpu)
-        vcpu.pcpu.account(CycleDomain.HOST_SCHED, block_ns)
         vcpu.state = VcpuState.HALTED
         vcpu.halted_since_ns = self.sim.now
         self._arm_host_deadline()
         nxt = self.hv.sched.release(vcpu)
         if nxt is not None:
-            nxt.exec.dispatch()
+            # The block-side swtch work delays whoever takes the CPU;
+            # booking it here in zero sim-time would overbook the shared
+            # timeline (the successor starts its own costs at this same
+            # instant).
+            nxt.exec.dispatch(extra_ns=block_ns)
+        else:
+            # CPU going idle: pay the swtch cost when this vCPU next
+            # occupies the timeline (its wake).
+            self._pending_sched_ns += block_ns
 
     def _arm_host_deadline(self) -> None:
         """While not in guest mode, a host timer stands in for the
@@ -549,27 +579,39 @@ class _VcpuExec:
         deadline = self.vcpu.guest_deadline_ns
         if deadline is None:
             return
-        self._host_deadline_event = self.sim.at(
-            max(deadline, self.sim.now), self._host_deadline_fired
-        )
+        when = max(deadline, self.sim.now)
+        self._host_deadline_event = self.sim.at(when, self._host_deadline_fired)
+        self._trace("hostdl_arm", when)
 
     def _cancel_host_deadline(self) -> None:
         if self._host_deadline_event is not None:
             self.sim.cancel(self._host_deadline_event)
             self._host_deadline_event = None
+            self._trace("hostdl_cancel")
 
     def _host_deadline_fired(self) -> None:
         self._host_deadline_event = None
+        deadline = self.vcpu.guest_deadline_ns
         self.vcpu.guest_deadline_ns = None
         self.preempt_timer.clear()
+        if self.sim.trace.enabled:
+            self._trace("hostdl_fire")
+            self._trace("deadline_fire", (deadline, "host"))
         self.deliver(Vector.LOCAL_TIMER, ExitTag.TIMER_GUEST_TICK)
 
-    def dispatch(self) -> None:
-        """The host scheduler gave us the CPU (overcommit path)."""
+    def dispatch(self, *, extra_ns: int = 0) -> None:
+        """The host scheduler gave us the CPU (overcommit path).
+
+        ``extra_ns`` carries the outgoing vCPU's block-side swtch cost;
+        any deferred wake cost of this vCPU is also paid here — both
+        now occupy the timeline, serialized before guest entry.
+        """
         if self.vcpu.state is not VcpuState.READY:
             raise HostError(f"dispatch of {self.vcpu!r} in state {self.vcpu.state}")
         self.vcpu.state = VcpuState.EXITED
         ctx_ns = self.clock.cycles_to_ns(self.costs.ctx_switch)
+        ctx_ns += extra_ns + self._pending_sched_ns
+        self._pending_sched_ns = 0
         self.vcpu.pcpu.account(CycleDomain.HOST_SCHED, ctx_ns)
         self.sim.schedule(ctx_ns, self._enter_guest)
 
@@ -621,10 +663,16 @@ class _VcpuExec:
             vcpu.cstate_residency_ns[name] = vcpu.cstate_residency_ns.get(name, 0) + halted
             wake_ns += cstate.exit_latency_ns
             vcpu.requested_cstate = None
-        vcpu.pcpu.account(CycleDomain.HOST_SCHED, wake_ns)
+        wake_ns += self._pending_sched_ns
+        self._pending_sched_ns = 0
         if self.hv.sched.acquire(vcpu):
+            vcpu.pcpu.account(CycleDomain.HOST_SCHED, wake_ns)
             self.sim.schedule(wake_ns, self._enter_guest)
-        # else: READY, will be dispatched; wake cost already accounted.
+        else:
+            # READY behind another vCPU: the pCPU is busy right now, so
+            # the wake/C-state-exit work is paid at dispatch, when it
+            # actually occupies the timeline.
+            self._pending_sched_ns = wake_ns
 
     # ------------------------------------------------- timer & host tick
 
@@ -645,6 +693,8 @@ class _VcpuExec:
             # The guest's own deadline passed: consume it, inject its
             # timer interrupt on re-entry.
             vcpu.guest_deadline_ns = None
+            if self.sim.trace.enabled:
+                self._trace("deadline_fire", (gd, "ptimer"))
             vcpu.post_irq(Vector.LOCAL_TIMER)
             self._begin_exit(
                 ExitReason.PREEMPTION_TIMER,

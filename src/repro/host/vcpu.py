@@ -39,7 +39,7 @@ class VCpu:
         "index",
         "vm_name",
         "pcpu",
-        "state",
+        "_state",
         "pending_irqs",
         "guest_deadline_ns",
         "last_virtual_tick_ns",
@@ -55,7 +55,7 @@ class VCpu:
         self.index = index
         self.vm_name = vm_name
         self.pcpu = pcpu
-        self.state = VcpuState.INIT
+        self._state = VcpuState.INIT
         #: Interrupts awaiting injection, in arrival order (no duplicates).
         self.pending_irqs: list[Vector] = []
         #: Absolute expiry of the guest-programmed deadline timer, if armed.
@@ -75,6 +75,27 @@ class VCpu:
         self.cstate_residency_ns: dict[str, int] = {}
         #: Back-reference to the executor driving this vCPU (set by KVM).
         self.exec = None
+
+    @property
+    def state(self) -> VcpuState:
+        """Execution state; every transition is a structured trace event."""
+        return self._state
+
+    @state.setter
+    def state(self, new: VcpuState) -> None:
+        old = self._state
+        self._state = new
+        # All writers (the executor in repro.host.kvm and the host
+        # scheduler) funnel through here, so the trace sees the complete
+        # run-state machine — that is what repro.analysis checks against.
+        trace = self.pcpu._sim.trace
+        if trace.enabled and old is not new:
+            trace.emit(
+                self.pcpu._sim.now,
+                f"{self.vm_name}/vcpu{self.index}",
+                "vcpu_state",
+                (old.value, new.value),
+            )
 
     def post_irq(self, vector: Vector) -> bool:
         """Queue ``vector`` for injection; returns False if already pending.

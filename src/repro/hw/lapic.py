@@ -85,6 +85,7 @@ class LapicTimer:
         self.mode = TimerMode.ONESHOT
         self.arm_count += 1
         self._event = self._sim.schedule(delay_ns, self._fire)
+        self._trace_arm(self._sim.now + delay_ns)
 
     def arm_periodic_ns(self, period_ns: int, *, first_after_ns: Optional[int] = None) -> None:
         """Program periodic expiry every ``period_ns``."""
@@ -96,6 +97,7 @@ class LapicTimer:
         self.arm_count += 1
         first = period_ns if first_after_ns is None else first_after_ns
         self._event = self._sim.schedule(first, self._fire)
+        self._trace_arm(self._sim.now + first)
 
     def arm_tsc_deadline(self, tsc_deadline: int) -> None:
         """Program expiry at an absolute TSC count (deadline mode).
@@ -111,6 +113,7 @@ class LapicTimer:
         self.arm_count += 1
         when = self._tsc.deadline_to_ns(tsc_deadline)
         self._event = self._sim.at(when, self._fire)
+        self._trace_arm(when)
 
     def disarm(self) -> None:
         """Cancel any pending expiry."""
@@ -121,11 +124,23 @@ class LapicTimer:
         if self._event is not None:
             self._sim.cancel(self._event)
             self._event = None
+            if self._sim.trace.enabled:
+                self._sim.trace.emit(self._sim.now, self.name, "lapic_disarm")
+
+    def _trace_arm(self, expiry_ns: int) -> None:
+        if self._sim.trace.enabled:
+            self._sim.trace.emit(
+                self._sim.now, self.name, "lapic_arm", (self.mode.value, expiry_ns)
+            )
 
     # -------------------------------------------------------------- expiry
 
     def _fire(self) -> None:
         self.fire_count += 1
+        if self._sim.trace.enabled:
+            self._sim.trace.emit(
+                self._sim.now, self.name, "lapic_fire", (self.mode.value, int(self.vector))
+            )
         if self.mode is TimerMode.PERIODIC:
             # Re-arm before delivery so the handler observes a live timer
             # (periodic mode needs no reprogramming — that is exactly why

@@ -10,7 +10,7 @@ paper sets out to eliminate.
 from __future__ import annotations
 
 import enum
-from typing import Callable
+from typing import Callable, Optional
 
 from repro.errors import HardwareError
 
@@ -41,13 +41,19 @@ class MsrFile:
     The hypervisor installs hooks on the intercepted registers; the
     hook abstraction is also how the native (non-virtualized) LAPIC
     wires ``TSC_DEADLINE`` writes to its timer model.
+
+    When constructed with a simulator, every write additionally emits a
+    structured ``msr_write`` trace event so the analysis layer can see
+    the raw register traffic behind the timer path.
     """
 
-    __slots__ = ("_values", "_write_hooks")
+    __slots__ = ("_values", "_write_hooks", "_sim", "name")
 
-    def __init__(self) -> None:
+    def __init__(self, sim=None, *, name: str = "msr") -> None:
         self._values: dict[int, int] = {}
         self._write_hooks: dict[int, WriteHook] = {}
+        self._sim = sim
+        self.name = name
 
     def install_write_hook(self, index: int, hook: WriteHook) -> None:
         """Register ``hook`` to run on every write to MSR ``index``."""
@@ -60,6 +66,8 @@ class MsrFile:
         if value < 0:
             raise HardwareError(f"MSR {index:#x}: negative value {value}")
         self._values[index] = value
+        if self._sim is not None and self._sim.trace.enabled:
+            self._sim.trace.emit(self._sim.now, self.name, "msr_write", (int(index), int(value)))
         hook = self._write_hooks.get(index)
         if hook is not None:
             hook(index, value)

@@ -12,6 +12,9 @@ The preemption timer only counts down while the vCPU is in guest mode;
 KVM re-arms it on every VM entry from the saved deadline and falls back
 to a host-side timer while the vCPU is scheduled out. We expose exactly
 that interface: ``start(deadline_ns)`` on entry, ``stop()`` on exit.
+
+Every start/stop/fire is a structured trace event (kinds ``ptimer_*``)
+so :mod:`repro.analysis` can check the pairing online.
 """
 
 from __future__ import annotations
@@ -26,15 +29,17 @@ from repro.sim.events import Event
 class PreemptionTimer:
     """Per-vCPU VMX preemption timer (active only while in guest mode)."""
 
-    __slots__ = ("_sim", "_callback", "_event", "deadline_ns", "fire_count")
+    __slots__ = ("_sim", "_callback", "_event", "deadline_ns", "fire_count", "name")
 
-    def __init__(self, sim: Simulator, callback: Callable[[], None]):
+    def __init__(self, sim: Simulator, callback: Callable[[], None], *, name: str = "ptimer"):
         self._sim = sim
         self._callback = callback
         self._event: Optional[Event] = None
         #: Absolute deadline currently programmed (None = not armed).
         self.deadline_ns: Optional[int] = None
         self.fire_count = 0
+        #: Trace source label (the owning vCPU names it after itself).
+        self.name = name
 
     @property
     def running(self) -> bool:
@@ -54,13 +59,18 @@ class PreemptionTimer:
             raise HardwareError("preemption timer started twice")
         if self.deadline_ns is None:
             return
-        self._event = self._sim.at(max(self.deadline_ns, self._sim.now), self._fire)
+        when = max(self.deadline_ns, self._sim.now)
+        self._event = self._sim.at(when, self._fire)
+        if self._sim.trace.enabled:
+            self._sim.trace.emit(self._sim.now, self.name, "ptimer_start", when)
 
     def stop(self) -> None:
         """VM exit: pause the countdown (deadline is retained)."""
         if self._event is not None:
             self._sim.cancel(self._event)
             self._event = None
+            if self._sim.trace.enabled:
+                self._sim.trace.emit(self._sim.now, self.name, "ptimer_stop")
 
     def clear(self) -> None:
         """Drop the deadline entirely (guest disarmed its timer)."""
@@ -71,4 +81,6 @@ class PreemptionTimer:
         self._event = None
         self.deadline_ns = None
         self.fire_count += 1
+        if self._sim.trace.enabled:
+            self._sim.trace.emit(self._sim.now, self.name, "ptimer_fire")
         self._callback()

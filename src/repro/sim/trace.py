@@ -92,3 +92,25 @@ class CallbackTracer(Tracer):
 
     def emit(self, time: int, source: str, kind: str, detail: Any = None) -> None:
         self._fn(TraceRecord(time, source, kind, detail))
+
+
+class TeeTracer(Tracer):
+    """Fans every record out to several tracers.
+
+    This is how an analysis sink (e.g. the invariant sanitizer in
+    :mod:`repro.analysis`) rides along with a user-facing tracer: both
+    attach as sinks and see the identical stream. ``enabled`` is True
+    iff any sink is enabled, so the NullTracer fast path is preserved
+    when every sink is disabled.
+    """
+
+    def __init__(self, *sinks: Tracer):
+        if not sinks:
+            raise ValueError("TeeTracer needs at least one sink")
+        self.sinks = tuple(sinks)
+        self.enabled = any(s.enabled for s in self.sinks)
+
+    def emit(self, time: int, source: str, kind: str, detail: Any = None) -> None:
+        for s in self.sinks:
+            if s.enabled:
+                s.emit(time, source, kind, detail)

@@ -1,0 +1,352 @@
+"""Mutation self-tests for the tick sanitizer.
+
+Each test deliberately breaks ONE timer-path invariant in a synthetic
+event stream and asserts that exactly the targeted checker fires — no
+more, no fewer. This is the sanitizer's own safety net: a checker that
+stops firing (or starts firing on legal streams) fails here before it
+silently degrades the fuzz harness.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.checkers import TickSanitizer, Violation, default_checkers
+from repro.config import TickMode
+from repro.hw.interrupts import Vector
+
+V235 = int(Vector.PARATICK_VIRTUAL_TICK)
+V236 = int(Vector.LOCAL_TIMER)
+
+VCPU = "vm0/vcpu0"
+
+
+def run_stream(records, mode=None) -> TickSanitizer:
+    sanitizer = TickSanitizer(mode=mode)
+    for time, source, kind, detail in records:
+        sanitizer.emit(time, source, kind, detail)
+    sanitizer.finish()
+    return sanitizer
+
+
+def firing(sanitizer) -> set[str]:
+    """Names of the checkers that reported at least one violation."""
+    return {v.checker for v in sanitizer.violations}
+
+
+# A legal reference stream touching every checker; mutations below are
+# single edits of sequences like these.
+LEGAL = [
+    (0, VCPU, "vcpu_state", ("init", "exited")),
+    (5, VCPU, "lapic_arm", ("oneshot", 100)),
+    (7, VCPU, "ptimer_start", 100),
+    (8, VCPU, "vcpu_state", ("exited", "guest")),
+    (100, VCPU, "ptimer_fire", None),
+    (100, VCPU, "vcpu_state", ("guest", "exited")),
+    (101, VCPU, "lapic_fire", ("oneshot", V236)),
+    (102, VCPU, "inject", (V236,)),
+    (103, VCPU, "vcpu_state", ("exited", "guest")),
+    (200, VCPU, "vmexit", ("hlt", "idle")),
+    (200, VCPU, "vcpu_state", ("guest", "exited")),
+    (201, VCPU, "vcpu_state", ("exited", "halted")),
+    (300, VCPU, "vcpu_state", ("halted", "exited")),
+    (400, VCPU, "vcpu_state", ("exited", "off")),
+]
+
+
+class TestLegalStreams:
+    def test_reference_stream_is_clean(self):
+        assert run_stream(LEGAL).violations == []
+
+    def test_periodic_fire_keeps_the_timer_armed(self):
+        s = run_stream([
+            (0, "lapic", "lapic_arm", ("periodic", 10)),
+            (10, "lapic", "lapic_fire", ("periodic", V236)),
+            (20, "lapic", "lapic_fire", ("periodic", V236)),
+            (25, "lapic", "lapic_disarm", None),
+        ])
+        assert s.violations == []
+
+    def test_deadline_reprogram_without_fire_is_legal(self):
+        s = run_stream([
+            (0, VCPU, "deadline_set", 100),
+            (1, VCPU, "deadline_set", 200),  # moving the deadline = reprogram
+            (200, VCPU, "deadline_fire", (200, "ptimer")),
+        ])
+        assert s.violations == []
+
+    def test_idle_reenter_without_exit_is_legal(self):
+        s = run_stream([
+            (0, VCPU, "idle_enter", None),
+            (1, VCPU, "idle_enter", None),
+            (2, VCPU, "idle_exit", None),
+        ])
+        assert s.violations == []
+
+    def test_vector_235_legal_under_paratick(self):
+        s = run_stream([(0, VCPU, "inject", (V235,))], mode=TickMode.PARATICK)
+        assert s.violations == []
+
+
+class TestLapicMutations:
+    def test_double_arm_fires_lapic_checker_only(self):
+        s = run_stream([
+            (0, "lapic", "lapic_arm", ("oneshot", 100)),
+            (1, "lapic", "lapic_arm", ("oneshot", 200)),
+        ])
+        assert firing(s) == {"lapic"}
+
+    def test_fire_while_unarmed(self):
+        s = run_stream([(5, "lapic", "lapic_fire", ("oneshot", V236))])
+        assert firing(s) == {"lapic"}
+
+    def test_fire_before_expiry(self):
+        s = run_stream([
+            (0, "lapic", "lapic_arm", ("oneshot", 100)),
+            (50, "lapic", "lapic_fire", ("oneshot", V236)),
+        ])
+        assert firing(s) == {"lapic"}
+
+    def test_oneshot_fire_consumes_the_arm(self):
+        s = run_stream([
+            (0, "lapic", "lapic_arm", ("oneshot", 10)),
+            (10, "lapic", "lapic_fire", ("oneshot", V236)),
+            (20, "lapic", "lapic_fire", ("oneshot", V236)),  # second fire: unarmed
+        ])
+        assert firing(s) == {"lapic"}
+
+    def test_fire_mode_mismatch(self):
+        s = run_stream([
+            (0, "lapic", "lapic_arm", ("oneshot", 10)),
+            (10, "lapic", "lapic_fire", ("periodic", V236)),
+        ])
+        assert firing(s) == {"lapic"}
+
+    def test_sources_tracked_independently(self):
+        s = run_stream([
+            (0, "vm0/vcpu0/vlapic", "lapic_arm", ("periodic", 10)),
+            (1, "vm0/vcpu1/vlapic", "lapic_arm", ("periodic", 11)),
+            (10, "vm0/vcpu0/vlapic", "lapic_fire", ("periodic", V236)),
+            (11, "vm0/vcpu1/vlapic", "lapic_fire", ("periodic", V236)),
+        ])
+        assert s.violations == []
+
+
+class TestPreemptionTimerMutations:
+    def test_double_start(self):
+        s = run_stream([
+            (0, VCPU, "ptimer_start", 100),
+            (1, VCPU, "ptimer_start", 200),
+        ])
+        assert firing(s) == {"preemption-timer"}
+
+    def test_stop_without_start(self):
+        s = run_stream([(0, VCPU, "ptimer_stop", None)])
+        assert firing(s) == {"preemption-timer"}
+
+    def test_fire_without_start(self):
+        s = run_stream([(0, VCPU, "ptimer_fire", None)])
+        assert firing(s) == {"preemption-timer"}
+
+    def test_fire_before_deadline(self):
+        s = run_stream([
+            (0, VCPU, "ptimer_start", 100),
+            (50, VCPU, "ptimer_fire", None),
+        ])
+        assert firing(s) == {"preemption-timer"}
+
+    def test_fire_while_vcpu_not_in_guest_mode(self):
+        s = run_stream([
+            (0, VCPU, "vcpu_state", ("init", "exited")),
+            (1, VCPU, "ptimer_start", 10),
+            (10, VCPU, "ptimer_fire", None),  # still EXITED: illegal
+        ])
+        assert firing(s) == {"preemption-timer"}
+
+
+class TestVcpuStateMutations:
+    def test_illegal_transition(self):
+        s = run_stream([(0, VCPU, "vcpu_state", ("guest", "halted"))])
+        assert firing(s) == {"vcpu-state"}
+
+    def test_transition_from_untracked_state(self):
+        s = run_stream([
+            (0, VCPU, "vcpu_state", ("init", "exited")),
+            (1, VCPU, "vcpu_state", ("guest", "exited")),  # tracked says exited
+        ])
+        assert firing(s) == {"vcpu-state"}
+
+    def test_transition_after_shutdown(self):
+        s = run_stream([
+            (0, VCPU, "vcpu_state", ("init", "off")),
+            (1, VCPU, "vcpu_state", ("off", "exited")),
+        ])
+        assert firing(s) == {"vcpu-state"}
+
+    def test_any_state_may_shut_down(self):
+        s = run_stream([
+            (0, VCPU, "vcpu_state", ("init", "exited")),
+            (1, VCPU, "vcpu_state", ("exited", "halted")),
+            (2, VCPU, "vcpu_state", ("halted", "off")),
+        ])
+        assert s.violations == []
+
+
+class TestDeadlineMutations:
+    def test_fire_without_set(self):
+        s = run_stream([(0, VCPU, "deadline_fire", (100, "ptimer"))])
+        assert firing(s) == {"guest-deadline"}
+
+    def test_fire_before_deadline(self):
+        s = run_stream([
+            (0, VCPU, "deadline_set", 100),
+            (50, VCPU, "deadline_fire", (100, "ptimer")),
+        ])
+        assert firing(s) == {"guest-deadline"}
+
+    def test_fire_wrong_deadline_value(self):
+        s = run_stream([
+            (0, VCPU, "deadline_set", 100),
+            (150, VCPU, "deadline_fire", (150, "host")),
+        ])
+        assert firing(s) == {"guest-deadline"}
+
+    def test_cleared_deadline_must_not_fire(self):
+        s = run_stream([
+            (0, VCPU, "deadline_set", 100),
+            (1, VCPU, "deadline_clear", None),
+            (100, VCPU, "deadline_fire", (100, "ptimer")),
+        ])
+        assert firing(s) == {"guest-deadline"}
+
+    def test_host_standin_armed_twice(self):
+        s = run_stream([
+            (0, VCPU, "hostdl_arm", 100),
+            (1, VCPU, "hostdl_arm", 200),
+        ])
+        assert firing(s) == {"guest-deadline"}
+
+    def test_host_standin_cancel_without_arm(self):
+        s = run_stream([(0, VCPU, "hostdl_cancel", None)])
+        assert firing(s) == {"guest-deadline"}
+
+    def test_host_standin_fire_without_arm(self):
+        s = run_stream([(0, VCPU, "hostdl_fire", None)])
+        assert firing(s) == {"guest-deadline"}
+
+
+class TestTickSchedMutations:
+    def test_tick_stopped_twice(self):
+        s = run_stream([
+            (0, VCPU, "tick_stop", None),
+            (1, VCPU, "tick_stop", None),
+        ], mode=TickMode.TICKLESS)
+        assert firing(s) == {"tick-sched"}
+
+    def test_restart_without_stop(self):
+        s = run_stream([(0, VCPU, "tick_restart", None)], mode=TickMode.TICKLESS)
+        assert firing(s) == {"tick-sched"}
+
+    def test_tick_kept_while_stopped(self):
+        s = run_stream([
+            (0, VCPU, "tick_stop", None),
+            (1, VCPU, "tick_kept", None),
+        ], mode=TickMode.TICKLESS)
+        assert firing(s) == {"tick-sched"}
+
+    def test_idle_exit_without_enter(self):
+        s = run_stream([(0, VCPU, "idle_exit", None)])
+        assert firing(s) == {"tick-sched"}
+
+    @pytest.mark.parametrize("mode", [TickMode.PERIODIC, TickMode.PARATICK])
+    def test_non_tickless_guests_never_touch_the_tick(self, mode):
+        s = run_stream([
+            (0, VCPU, "tick_stop", None),
+            (1, VCPU, "tick_restart", None),
+        ], mode=mode)
+        assert firing(s) == {"tick-sched"}
+
+
+class TestInjectMutations:
+    def test_vector_235_into_tickless_guest(self):
+        s = run_stream([(0, VCPU, "inject", (V235,))], mode=TickMode.TICKLESS)
+        assert firing(s) == {"inject"}
+
+    def test_unknown_vector(self):
+        s = run_stream([(0, VCPU, "inject", (1,))])
+        assert firing(s) == {"inject"}
+
+    def test_mode_unknown_tolerates_235(self):
+        s = run_stream([(0, VCPU, "inject", (V235,))], mode=None)
+        assert s.violations == []
+
+
+class TestSchemaMutations:
+    def test_unregistered_kind(self):
+        s = run_stream([(0, VCPU, "warp_drive", None)])
+        assert firing(s) == {"schema"}
+
+    def test_malformed_detail_fires_schema_only(self):
+        # A garbled vcpu_state record must not confuse the state checker:
+        # only the schema checker reports it.
+        s = run_stream([(0, VCPU, "vcpu_state", "guest->exited")])
+        assert firing(s) == {"schema"}
+
+    def test_empty_inject_tuple(self):
+        s = run_stream([(0, VCPU, "inject", ())])
+        assert firing(s) == {"schema"}
+
+    def test_negative_deadline(self):
+        s = run_stream([(0, VCPU, "deadline_set", -5)])
+        assert firing(s) == {"schema"}
+
+
+class TestSanitizerPlumbing:
+    def test_violations_sorted_by_time(self):
+        s = run_stream([
+            (50, VCPU, "ptimer_stop", None),
+            (10, "lapic", "lapic_fire", ("oneshot", V236)),
+        ])
+        times = [v.time for v in s.violations]
+        assert times == sorted(times)
+
+    def test_violation_str_mentions_checker_and_source(self):
+        v = Violation(12, "lapic", "vm0/vcpu0", "fired while not armed")
+        text = str(v)
+        assert "lapic" in text and "vm0/vcpu0" in text and "12" in text
+
+    def test_summary_counts_per_checker(self):
+        s = run_stream(LEGAL)
+        assert f"{len(LEGAL)} events" in s.summary()
+        assert "schema" in s.summary()
+
+    def test_feed_replays_records(self):
+        from repro.sim.trace import TraceRecord
+
+        s = TickSanitizer()
+        s.feed([TraceRecord(0, "lapic", "lapic_fire", ("oneshot", V236))])
+        assert firing(s) == {"lapic"}
+
+    def test_finish_is_idempotent(self):
+        s = run_stream([(0, VCPU, "ptimer_stop", None)])
+        assert s.finish() == s.finish()
+        assert len(s.violations) == 1
+
+    def test_ok_property(self):
+        assert run_stream(LEGAL).ok
+        assert not run_stream([(0, VCPU, "ptimer_stop", None)]).ok
+
+    def test_default_checkers_cover_all_names(self):
+        names = {c.name for c in default_checkers()}
+        assert names == {
+            "schema", "vcpu-state", "preemption-timer", "lapic",
+            "guest-deadline", "tick-sched", "inject",
+        }
+
+    def test_exit_tally_counts_vmexits(self):
+        s = run_stream([
+            (0, VCPU, "vmexit", ("hlt", "idle")),
+            (1, VCPU, "vmexit", ("hlt", "idle")),
+            (2, VCPU, "vmexit", ("msr_write", "timer_program")),
+        ])
+        assert s.exit_tally == {("hlt", "idle"): 2, ("msr_write", "timer_program"): 1}

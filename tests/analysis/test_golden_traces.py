@@ -1,0 +1,156 @@
+"""Golden event-sequence tests for the paper's figures.
+
+Fig. 1 (tickless): entering idle stops the guest tick and reprograms the
+deadline timer; leaving idle restarts the tick — each transition costing
+an extra MSR-write VM exit.  Fig. 3 (paratick): the host virtualizes the
+tick during halts, so the idle cycle carries no tick_stop/tick_restart
+and exactly one timer reprogram.
+
+The expected sequences below are written out as literal kind lists so a
+reader can follow the figure event-by-event.  The scenario is fully
+deterministic (fixed seed, noise off, single vCPU), so exact-sequence
+comparison is stable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import TickMode
+from repro.experiments.runner import run_workload
+from repro.hw.interrupts import Vector
+from repro.sim.timebase import USEC
+from repro.sim.trace import RingTracer
+from repro.workloads.micro import IdlePeriodWorkload
+
+
+def traced_idle_run(mode: TickMode):
+    tracer = RingTracer(capacity=100_000)
+    run_workload(
+        IdlePeriodWorkload(500 * USEC, iterations=3, work_cycles=100_000),
+        tick_mode=mode, seed=1, noise=False, tracer=tracer,
+    )
+    return list(tracer.records)
+
+
+def one_idle_cycle(records):
+    """Kinds between the first idle_enter and the following idle_enter."""
+    starts = [i for i, r in enumerate(records) if r.kind == "idle_enter"]
+    assert len(starts) >= 2, "scenario did not produce two idle periods"
+    return [r.kind for r in records[starts[0]:starts[1]]]
+
+
+# Fig. 1: a full tickless idle period.  The guest stops its tick on idle
+# entry (tick_stop) and must restart it on exit (tick_restart), paying a
+# second timer-reprogram exit before the next work interval even starts.
+FIG1_TICKLESS_CYCLE = [
+    "idle_enter",
+    "tick_stop",            # guest tick switches off for the idle period
+    "vcpu_state",           # guest -> exited
+    "ptimer_stop",
+    "vmexit",               # hlt/idle
+    "vcpu_state",           # exited -> halted
+    "hostdl_arm",           # host timer carries the guest deadline
+    "hostdl_fire",
+    "deadline_fire",        # virtual deadline delivered from the host
+    "vcpu_state",           # halted -> exited
+    "inject",               # LOCAL_TIMER (vector 236)
+    "vcpu_state",           # exited -> guest
+    "idle_exit",
+    "tick_restart",         # tick must be re-armed...
+    "timer_program_req",
+    "vcpu_state",           # guest -> exited
+    "vmexit",               # ...costing an msr_write/timer_program exit
+    "deadline_set",
+    "vcpu_state",           # exited -> guest
+    "ptimer_start",
+    "timer_program_req",    # work done: reprogram for the idle deadline
+    "vcpu_state",
+    "ptimer_stop",
+    "vmexit",               # second msr_write/timer_program exit
+    "deadline_set",
+    "vcpu_state",
+    "ptimer_start",
+]
+
+# Fig. 3: the same idle period under paratick.  No tick_stop/tick_restart
+# pair and a single timer reprogram per cycle — the host keeps the tick
+# virtual while the vCPU is halted.
+FIG3_PARATICK_CYCLE = [
+    "idle_enter",
+    "vcpu_state",           # guest -> exited
+    "ptimer_stop",
+    "vmexit",               # hlt/idle
+    "vcpu_state",           # exited -> halted
+    "hostdl_arm",
+    "hostdl_fire",
+    "deadline_fire",
+    "vcpu_state",           # halted -> exited
+    "inject",               # LOCAL_TIMER (vector 236)
+    "vcpu_state",           # exited -> guest
+    "idle_exit",            # no tick_restart: the tick never stopped
+    "timer_program_req",    # the cycle's only timer reprogram
+    "vcpu_state",
+    "vmexit",
+    "deadline_set",
+    "vcpu_state",
+    "ptimer_start",
+]
+
+
+class TestFig1TicklessIdle:
+    @pytest.fixture(scope="class")
+    def records(self):
+        return traced_idle_run(TickMode.TICKLESS)
+
+    def test_idle_cycle_matches_figure(self, records):
+        assert one_idle_cycle(records) == FIG1_TICKLESS_CYCLE
+
+    def test_boot_arms_the_periodic_tick(self, records):
+        assert records[0].kind == "timer_program_req"
+
+    def test_deadline_fires_from_host_while_halted(self, records):
+        fire = next(r for r in records if r.kind == "deadline_fire")
+        value, origin = fire.detail
+        assert origin == "host"
+
+    def test_timer_vector_is_local_timer(self, records):
+        vectors = {r.detail[0] for r in records if r.kind == "inject"}
+        assert vectors == {int(Vector.LOCAL_TIMER)}
+
+
+class TestFig3Paratick:
+    @pytest.fixture(scope="class")
+    def records(self):
+        return traced_idle_run(TickMode.PARATICK)
+
+    def test_idle_cycle_matches_figure(self, records):
+        assert one_idle_cycle(records) == FIG3_PARATICK_CYCLE
+
+    def test_no_tick_stop_restart_churn(self, records):
+        kinds = {r.kind for r in records}
+        assert "tick_stop" not in kinds
+        assert "tick_restart" not in kinds
+
+    def test_boot_negotiates_paratick_via_hypercall(self, records):
+        first_exit = next(r for r in records if r.kind == "vmexit")
+        assert first_exit.detail == ("hypercall", "hypercall")
+
+
+class TestFigureDelta:
+    """The quantitative claim behind the figures: paratick removes one
+    timer-reprogram exit (and the tick stop/restart churn) per idle period."""
+
+    def count_timer_exits(self, records):
+        cycle_records = []
+        starts = [i for i, r in enumerate(records) if r.kind == "idle_enter"]
+        for r in records[starts[0]:starts[1]]:
+            if r.kind == "vmexit" and r.detail == ("msr_write", "timer_program"):
+                cycle_records.append(r)
+        return len(cycle_records)
+
+    def test_one_fewer_reprogram_exit_per_idle_period(self):
+        tickless = self.count_timer_exits(traced_idle_run(TickMode.TICKLESS))
+        paratick = self.count_timer_exits(traced_idle_run(TickMode.PARATICK))
+        assert tickless == 2
+        assert paratick == 1

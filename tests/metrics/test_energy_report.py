@@ -1,0 +1,181 @@
+"""Unit coverage for the energy model, comparison reports, and the
+metrics serialization + ledger-conservation edge cases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.reconcile import check_ledger
+from repro.errors import ConfigError, ReproError
+from repro.guest.cpuidle import C1, C6
+from repro.host.exitreasons import ExitReason, ExitTag
+from repro.hw.cpu import CycleDomain
+from repro.metrics.counters import ExitCounters
+from repro.metrics.energy import EnergyEstimate, EnergyModel, estimate_energy
+from repro.metrics.perf import RunMetrics
+from repro.metrics.report import compare_runs, format_table
+
+CLOCK = 1_000_000_000  # 1 GHz: 1 cycle == 1 ns, exact arithmetic below
+
+
+def metrics(*, exec_ns=1_000_000, cycles=500_000, extra=None) -> RunMetrics:
+    return RunMetrics(
+        label="m", exec_time_ns=exec_ns, total_cycles=cycles,
+        useful_cycles=cycles, overhead_cycles=0,
+        exits=ExitCounters(), extra=dict(extra or {}),
+    )
+
+
+class TestEnergyModel:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            EnergyModel(active_power_w=0)
+        with pytest.raises(ConfigError):
+            EnergyModel(active_power_w=-1.0)
+        with pytest.raises(ConfigError):
+            EnergyModel(default_idle_fraction=1.5)
+        with pytest.raises(ConfigError):
+            EnergyModel(default_idle_fraction=-0.1)
+
+    def test_default_idle_fraction_is_shallow_c1(self):
+        assert EnergyModel().default_idle_fraction == C1.power_fraction
+
+    def test_total_is_sum_of_parts(self):
+        e = EnergyEstimate(active_j=1.0, cstate_j=0.25, idle_j=0.5)
+        assert e.total_j == 1.75
+
+
+class TestEstimateEnergy:
+    def test_fully_busy_run_is_all_active(self):
+        m = metrics(exec_ns=1_000_000, cycles=1_000_000)
+        e = estimate_energy(m, model=EnergyModel(active_power_w=10.0), clock_hz=CLOCK)
+        assert e.active_j == pytest.approx(1_000_000 * 1e-9 * 10.0)
+        assert e.cstate_j == 0.0
+        assert e.idle_j == 0.0
+
+    def test_active_time_clamped_to_span(self):
+        """More cycles than wall-clock (multi-CPU aliasing) must not
+        produce negative idle time."""
+        m = metrics(exec_ns=1_000, cycles=5_000_000)
+        e = estimate_energy(m, clock_hz=CLOCK)
+        span_j = 1_000 * 1e-9 * EnergyModel().active_power_w
+        assert e.active_j == pytest.approx(span_j)
+        assert e.idle_j == 0.0
+
+    def test_unattributed_idle_uses_default_fraction(self):
+        m = metrics(exec_ns=1_000_000, cycles=0)
+        model = EnergyModel(active_power_w=10.0, default_idle_fraction=0.5)
+        e = estimate_energy(m, model=model, clock_hz=CLOCK)
+        assert e.active_j == 0.0
+        assert e.idle_j == pytest.approx(1_000_000 * 1e-9 * 10.0 * 0.5)
+
+    def test_cstate_residency_attributed_at_state_fraction(self):
+        m = metrics(exec_ns=1_000_000, cycles=0,
+                    extra={"cstate_C6_ns": 1_000_000})
+        e = estimate_energy(m, model=EnergyModel(active_power_w=10.0), clock_hz=CLOCK)
+        assert e.cstate_j == pytest.approx(1_000_000 * 1e-9 * 10.0 * C6.power_fraction)
+        assert e.idle_j == 0.0  # everything attributed to the C-state
+
+    def test_unknown_cstate_falls_back_to_default_fraction(self):
+        m = metrics(exec_ns=1_000_000, cycles=0,
+                    extra={"cstate_C9_ns": 1_000_000})
+        model = EnergyModel(active_power_w=10.0, default_idle_fraction=0.4)
+        e = estimate_energy(m, model=model, clock_hz=CLOCK)
+        assert e.cstate_j == pytest.approx(1_000_000 * 1e-9 * 10.0 * 0.4)
+
+    def test_multiple_vcpus_scale_the_span(self):
+        m = metrics(exec_ns=1_000_000, cycles=1_000_000, extra={"vcpus": 4})
+        e = estimate_energy(m, model=EnergyModel(active_power_w=10.0), clock_hz=CLOCK)
+        # one core's worth active, three cores' worth shallow idle
+        assert e.active_j == pytest.approx(1_000_000 * 1e-9 * 10.0)
+        assert e.idle_j == pytest.approx(3_000_000 * 1e-9 * 10.0 * C1.power_fraction)
+
+    def test_deeper_sleep_costs_less(self):
+        shallow = metrics(exec_ns=1_000_000, cycles=0,
+                          extra={"cstate_C1_ns": 900_000})
+        deep = metrics(exec_ns=1_000_000, cycles=0,
+                       extra={"cstate_C6_ns": 900_000})
+        assert estimate_energy(deep, clock_hz=CLOCK).total_j < \
+            estimate_energy(shallow, clock_hz=CLOCK).total_j
+
+
+class TestCompareRuns:
+    def run(self, *, exits=100, cycles=1_000_000, t=2_000_000, label="r"):
+        c = ExitCounters()
+        for _ in range(exits):
+            c.record(0, ExitReason.HLT, ExitTag.IDLE)
+        return RunMetrics(label=label, exec_time_ns=t, total_cycles=cycles,
+                          useful_cycles=cycles, overhead_cycles=0, exits=c)
+
+    def test_degenerate_candidate_rejected(self):
+        base = self.run()
+        broken = self.run(cycles=0)
+        with pytest.raises(ReproError, match="degenerate candidate"):
+            compare_runs(base, broken)
+
+    def test_label_defaults_to_candidate_label(self):
+        comp = compare_runs(self.run(), self.run(label="cand"))
+        assert comp.label == "cand"
+
+    def test_explicit_label_wins(self):
+        comp = compare_runs(self.run(), self.run(label="cand"), label="override")
+        assert comp.label == "override"
+
+
+class TestFormatTable:
+    def test_title_line(self):
+        out = format_table(["a"], [["1"]], title="Table 1")
+        assert out.splitlines()[0] == "Table 1"
+
+    def test_no_title_starts_with_headers(self):
+        out = format_table(["col"], [["x"]])
+        assert out.splitlines()[0].strip() == "col"
+
+
+class TestSerializationRoundTrip:
+    def make(self) -> RunMetrics:
+        c = ExitCounters()
+        c.record(0, ExitReason.HLT, ExitTag.IDLE)
+        c.record(1, ExitReason.MSR_WRITE, ExitTag.TIMER_PROGRAM)
+        return RunMetrics(
+            label="round-trip", exec_time_ns=123, total_cycles=456,
+            useful_cycles=400, overhead_cycles=56, exits=c,
+            ledger={CycleDomain.GUEST_USER: 400, CycleDomain.HOST_TICK: 7},
+            extra={"vcpus": 2, "cstate_C1_ns": 99.0},
+        )
+
+    def test_round_trip_preserves_everything(self):
+        m = self.make()
+        back = RunMetrics.from_json_dict(m.to_json_dict())
+        assert back == m
+
+    def test_json_dict_keys_are_json_safe(self):
+        import json
+
+        json.dumps(self.make().to_json_dict())  # must not raise
+
+
+class TestLedgerEdgeCases:
+    """check_ledger boundary behaviour beyond the mutation tests."""
+
+    def test_empty_run_is_conserved(self):
+        m = RunMetrics(label="empty", exec_time_ns=0, total_cycles=0,
+                       useful_cycles=0, overhead_cycles=0, exits=ExitCounters())
+        assert check_ledger(m, CLOCK) == []
+
+    def test_rounding_boundary_still_conserves(self):
+        """Odd ns totals at a non-integer cycle ratio: conversions must
+        agree with ns_to_cycles' floor semantics, not drift by one."""
+        from repro.sim.timebase import CpuClock
+
+        freq = 2_200_000_000
+        clock = CpuClock(freq)
+        ledger = {CycleDomain.GUEST_USER: 333, CycleDomain.VMX_TRANSITION: 77}
+        m = RunMetrics(
+            label="odd", exec_time_ns=410,
+            total_cycles=clock.ns_to_cycles(410),
+            useful_cycles=clock.ns_to_cycles(333),
+            overhead_cycles=clock.ns_to_cycles(77),
+            exits=ExitCounters(), ledger=ledger,
+        )
+        assert check_ledger(m, freq) == []

@@ -53,3 +53,46 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "fig6_fio.csv" in out
         assert (tmp_path / "figs" / "fig6_fio.csv").exists()
+
+
+class TestSanitizerCommands:
+    def test_check_clean_run(self, capsys):
+        assert main(["check", "dedup", "--target-mcycles", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "sanitizer: clean" in out
+        assert "events" in out
+
+    def test_check_mode_flag(self, capsys):
+        assert main(["check", "dedup", "--mode", "paratick",
+                     "--target-mcycles", "30"]) == 0
+        assert "sanitizer: clean" in capsys.readouterr().out
+
+    def test_fuzz_single_seed(self, capsys):
+        assert main(["fuzz", "--runs", "1", "--solo-only"]) == 0
+        out = capsys.readouterr().out
+        assert "[ok ]" in out
+        assert "seeds clean" in out
+
+    def test_fuzz_seed_list(self, capsys):
+        assert main(["fuzz", "--seed-list", "2", "--solo-only"]) == 0
+        assert "seed 2" in capsys.readouterr().out
+
+    def test_fuzz_reports_failures(self, capsys, monkeypatch):
+        from repro.analysis import fuzz as fuzz_mod
+        from repro.analysis.fuzz import FuzzReport, scenario_for_seed
+
+        def fake_fuzz_many(seeds, *, placements, progress=None):
+            reports = []
+            for seed in seeds:
+                r = FuzzReport(seed=seed, scenario=scenario_for_seed(seed),
+                               problems=["[periodic/solo] boom"], runs=3, events=1)
+                reports.append(r)
+                if progress:
+                    progress(r)
+            return reports
+
+        monkeypatch.setattr(fuzz_mod, "fuzz_many", fake_fuzz_many)
+        assert main(["fuzz", "--runs", "2", "--solo-only"]) == 1
+        out = capsys.readouterr().out
+        assert "[FAIL]" in out
+        assert "replay one with: python -m repro fuzz --seed-list 0 1" in out
