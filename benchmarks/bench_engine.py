@@ -75,3 +75,45 @@ def test_full_stack_events_per_second(benchmark):
         return m.total_exits
 
     assert benchmark.pedantic(run, rounds=1, iterations=1) > 100
+
+
+def test_observability_overhead_ratio(benchmark):
+    """Wall-clock cost of the full virtual-perf stack (profiler + steal
+    + latency histograms + ring export) relative to a bare run of the
+    same workload. The off-path is separately proven free in
+    tests/obs/test_wiring.py; this pins the *on*-path to a bounded
+    multiple so a regression in the hot hooks shows up here."""
+    import time
+
+    from repro.obs import ObsConfig, Observability
+
+    def workload():
+        return SyncStormWorkload(
+            threads=4, events_per_second=4000.0, duration_cycles=60_000_000)
+
+    def bare():
+        return run_workload(workload(), tick_mode=TickMode.TICKLESS, seed=9)
+
+    def probed():
+        obs = Observability(ObsConfig(trace_export=True))
+        return run_workload(workload(), tick_mode=TickMode.TICKLESS, seed=9,
+                            obs=obs)
+
+    bare()  # warm caches so both sides are measured hot
+    t0 = time.perf_counter()
+    base_metrics = bare()
+    bare_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    probed_metrics = benchmark.pedantic(probed, rounds=1, iterations=1)
+    probed_s = time.perf_counter() - t0
+
+    # Observation must not perturb the simulation it is measuring.
+    assert probed_metrics.to_json_dict() == base_metrics.to_json_dict()
+
+    ratio = probed_s / bare_s
+    print(f"obs on/off wall-clock ratio: {ratio:.2f}x "
+          f"({probed_s * 1e3:.0f} ms vs {bare_s * 1e3:.0f} ms)")
+    # Generous ceiling: catches pathological regressions (e.g. sampling
+    # per-account instead of per-period), not scheduler jitter.
+    assert ratio < 20.0

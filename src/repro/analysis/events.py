@@ -42,6 +42,9 @@ EVENT_SCHEMA: dict[str, str] = {
     "lapic_arm": "(mode_value, expiry_abs_ns) — timer programmed",
     "lapic_disarm": "None — pending expiry cancelled",
     "lapic_fire": "(mode_value, vector_int) — timer expired",
+    # Host scheduler (repro.host.kvm dispatch/preempt, overcommit only)
+    "sched_dispatch": "(pcpu_index, stolen_ns) — READY wait ended; vCPU got its pCPU",
+    "sched_preempt": "pcpu_index — host-tick boundary requeued this vCPU",
     # Raw MSR traffic (repro.hw.msr, native path)
     "msr_write": "(index, value)",
     # Guest kernel / tick-sched policies (repro.guest)
@@ -123,6 +126,13 @@ def _validate_lapic_fire(d: Any) -> Optional[str]:
     return None
 
 
+def _validate_sched_dispatch(d: Any) -> Optional[str]:
+    p = _pair(d)
+    if p is None or not _is_ns(p[0]) or not _is_ns(p[1]):
+        return f"expected (pcpu_index, stolen_ns) non-negative ints, got {d!r}"
+    return None
+
+
 def _validate_msr_write(d: Any) -> Optional[str]:
     p = _pair(d)
     if p is None or not all(isinstance(x, int) and x >= 0 for x in p):
@@ -146,6 +156,8 @@ _VALIDATORS: dict[str, Callable[[Any], Optional[str]]] = {
     "lapic_arm": _validate_lapic_arm,
     "lapic_disarm": _validate_none,
     "lapic_fire": _validate_lapic_fire,
+    "sched_dispatch": _validate_sched_dispatch,
+    "sched_preempt": _validate_abs_ns,
     "msr_write": _validate_msr_write,
     "idle_enter": _validate_none,
     "idle_exit": _validate_none,

@@ -154,16 +154,28 @@ def run_scenario(
     *,
     placement: str = SOLO,
 ) -> tuple[Optional[RunMetrics], TickSanitizer, list[str]]:
-    """One sanitized run; returns (metrics, sanitizer, problems)."""
+    """One sanitized run; returns (metrics, sanitizer, problems).
+
+    Alongside the sanitizer, a :class:`~repro.obs.steal.StealTracker`
+    rides the same event stream (via a tee) so the reconcile battery
+    can cross-check trace-derived steal against the runtime counters
+    and the pCPU busy timeline — the overcommit placements are exactly
+    where steal accounting is exercised.
+    """
+    from repro.obs.steal import StealTracker
+    from repro.sim.trace import TeeTracer
+
     workload = scenario.make_workload()
     nvcpus = workload.default_vcpus()
     mspec, pinned = placement_for(nvcpus, placement)
     sanitizer = TickSanitizer(mode=mode)
+    steal = StealTracker()
     internals: dict = {}
 
     def inspect(sim, machine, hv, vm) -> None:
         internals["machine"] = machine
         internals["now"] = sim.now
+        internals["hv"] = hv
 
     try:
         metrics = run_workload(
@@ -176,7 +188,7 @@ def run_scenario(
             noise=scenario.noise,
             cpuidle=scenario.cpuidle,
             horizon_ns=scenario.horizon_ns,
-            tracer=sanitizer,
+            tracer=TeeTracer(sanitizer, steal),
             inspect=inspect,
             label=f"fuzz{scenario.seed}/{scenario.kind}/{mode.value}/{placement}",
         )
@@ -189,6 +201,8 @@ def run_scenario(
         freq_hz=mspec.freq_hz,
         machine=internals.get("machine"),
         now_ns=internals.get("now"),
+        steal_tracker=steal,
+        hv=internals.get("hv"),
     )
     return metrics, sanitizer, problems
 

@@ -112,6 +112,27 @@ def check_machine(machine: Machine, now_ns: int) -> list[str]:
     return problems
 
 
+def check_steal(
+    steal_tracker,
+    hv,
+    machine: Optional[Machine] = None,
+    now_ns: Optional[int] = None,
+) -> list[str]:
+    """Steal-time reconciliation (trace vs runtime vs busy timeline).
+
+    ``steal_tracker`` is a :class:`repro.obs.steal.StealTracker` that
+    observed the run's event stream. Two independent derivations of
+    steal must agree exactly (dispatch-closed trace intervals vs the
+    executors' runtime counters), and no vCPU's steal on a pCPU may
+    exceed that CPU's on-timeline busy time — a stolen nanosecond is by
+    definition a nanosecond someone else was using.
+    """
+    problems = steal_tracker.reconcile_runtime(hv)
+    if machine is not None and now_ns is not None:
+        problems += steal_tracker.reconcile_timeline(machine, now_ns)
+    return problems
+
+
 def reconcile_run(
     sanitizer: "TickSanitizer",
     metrics: RunMetrics,
@@ -119,6 +140,8 @@ def reconcile_run(
     freq_hz: int,
     machine: Optional[Machine] = None,
     now_ns: Optional[int] = None,
+    steal_tracker=None,
+    hv=None,
 ) -> list[str]:
     """The full post-run battery; empty list means everything agrees."""
     problems = reconcile_exits(sanitizer, metrics)
@@ -126,4 +149,6 @@ def reconcile_run(
     problems += check_counters(metrics)
     if machine is not None and now_ns is not None:
         problems += check_machine(machine, now_ns)
+    if steal_tracker is not None and hv is not None:
+        problems += check_steal(steal_tracker, hv, machine, now_ns)
     return problems

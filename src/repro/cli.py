@@ -184,10 +184,12 @@ def _cmd_export(args) -> int:
 def _cmd_validate(args) -> int:
     from repro.experiments import validate
 
-    results = validate.run_all()
+    results = validate.run_all(artifacts_dir=args.artifacts)
     for r in results:
         mark = "ok " if r.passed else "FAIL"
         print(f"[{mark}] {r.name}: {r.detail}")
+    if args.artifacts:
+        print(f"observability artifacts written to {args.artifacts}/")
     return 0 if all(r.passed for r in results) else 1
 
 
@@ -275,15 +277,135 @@ def _cmd_fuzz(args) -> int:
     return 0
 
 
-def _cmd_run(args) -> int:
+def _make_obs(args):
+    """Observability bundle for ``run``/``perf``-style commands."""
+    from repro.obs import ObsConfig, Observability
+    from repro.sim.timebase import USEC
+
+    return Observability(ObsConfig(
+        sample_period_ns=getattr(args, "sample_us", 10) * USEC,
+        trace_export=args.trace_out is not None,
+    ))
+
+
+def _write_obs_outputs(obs, args) -> None:
+    """Write --trace-out / --collapsed-out files, reporting each path."""
+    if args.trace_out is not None:
+        from repro.obs.export import validate_chrome_trace, write_chrome_trace
+
+        doc = obs.chrome_trace()
+        errors = validate_chrome_trace(doc)
+        if errors:
+            raise SystemExit(f"exported trace failed validation: {errors[:3]}")
+        write_chrome_trace(doc, args.trace_out)
+        print(f"wrote Perfetto-loadable trace: {args.trace_out} "
+              f"({len(doc['traceEvents'])} events)", file=sys.stderr)
+    if getattr(args, "collapsed_out", None) is not None:
+        with open(args.collapsed_out, "w", encoding="utf-8") as fh:
+            fh.write("\n".join(obs.profiler.collapsed()) + "\n")
+        print(f"wrote collapsed-stack profile: {args.collapsed_out}", file=sys.stderr)
+
+
+def _run_parsec(args, obs=None):
     wl = parsec.benchmark(args.benchmark, threads=args.threads,
                           target_cycles=args.target_mcycles * 1_000_000)
-    m = runner.run_workload(wl, tick_mode=TickMode(args.mode), seed=args.seed)
+    kwargs = {}
+    if getattr(args, "overcommit", False):
+        from repro.analysis.fuzz import OVERCOMMIT, placement_for
+
+        mspec, pinned = placement_for(wl.default_vcpus(), OVERCOMMIT)
+        kwargs.update(machine_spec=mspec, pinned_cpus=pinned)
+    return runner.run_workload(wl, tick_mode=TickMode(args.mode), seed=args.seed,
+                               obs=obs, **kwargs)
+
+
+def _cmd_run(args) -> int:
+    obs = _make_obs(args) if (args.profile or args.trace_out) else None
+    m = _run_parsec(args, obs=obs)
     print(f"{m.label}: exec={m.exec_time_ns / 1e6:.2f} ms, exits={m.total_exits:,} "
           f"(timer {m.timer_exits:,}), cycles={m.total_cycles / 1e6:.0f} M, "
           f"overhead={m.overhead_ratio:.1%}")
     for key, count in sorted(m.exits.tag_breakdown().items(), key=lambda kv: -kv[1]):
         print(f"  {key.value:<18} {count:,}")
+    if obs is not None:
+        print(f"\nprofile ({obs.profiler.total_samples:,} samples, "
+              f"{obs.profiler.period_ns // 1000} us busy-time period):")
+        for line in obs.profiler.collapsed()[:10]:
+            print(f"  {line}")
+        _write_obs_outputs(obs, args)
+    return 0
+
+
+def _cmd_perf(args) -> int:
+    """Virtual perf: run one workload with the full observability stack
+    and print where the cycles went, the latency distributions, and the
+    per-vCPU steal — the simulator's answer to `perf stat` + `perf
+    sched` on the host."""
+    import json
+
+    from repro.metrics.report import format_overhead_breakdown
+    from repro.obs.steal import runtime_steal_summary
+
+    obs = _make_obs(args)
+    internals: dict = {}
+
+    def inspect(sim, machine, hv, vm) -> None:
+        internals["hv"] = hv
+
+    wl = parsec.benchmark(args.benchmark, threads=args.threads,
+                          target_cycles=args.target_mcycles * 1_000_000)
+    kwargs = {"inspect": inspect}
+    if args.overcommit:
+        from repro.analysis.fuzz import OVERCOMMIT, placement_for
+
+        mspec, pinned = placement_for(wl.default_vcpus(), OVERCOMMIT)
+        kwargs.update(machine_spec=mspec, pinned_cpus=pinned)
+    m = runner.run_workload(wl, tick_mode=TickMode(args.mode), seed=args.seed,
+                            obs=obs, **kwargs)
+    steal = runtime_steal_summary(internals["hv"])
+
+    if args.json:
+        print(json.dumps({
+            "metrics": m.to_json_dict(),
+            "obs": obs.to_json_dict(),
+            "steal_runtime": steal,
+        }, indent=2, sort_keys=True))
+    else:
+        print(format_overhead_breakdown([m], title="Overhead breakdown"))
+        print(f"\nprofile ({obs.profiler.total_samples:,} samples, "
+              f"{obs.profiler.period_ns // 1000} us busy-time period):")
+        for line in obs.profiler.collapsed()[: args.top]:
+            print(f"  {line}")
+        if len(obs.latency.registry):
+            from repro.metrics.report import format_table
+
+            print()
+            print(format_table(
+                ("histogram", "count", "p50", "p95", "p99", "max"),
+                obs.latency.registry.summary_rows(),
+                title="Latency histograms",
+            ))
+        print("\nsteal time (per vCPU):")
+        for src, row in sorted(steal.items()):
+            print(f"  {src}: {row['steal_ns'] / 1e6:.3f} ms "
+                  f"over {row['episodes']} episodes")
+    _write_obs_outputs(obs, args)
+    return 0
+
+
+def _cmd_report(args) -> int:
+    """Run one PARSEC model and emit its RunMetrics (JSON on stdout with
+    --json, an overhead-breakdown table otherwise) — the scriptable end
+    of the CLI."""
+    import json
+
+    m = _run_parsec(args)
+    if args.json:
+        print(json.dumps(m.to_json_dict(), indent=2, sort_keys=True))
+    else:
+        from repro.metrics.report import format_overhead_breakdown
+
+        print(format_overhead_breakdown([m]))
     return 0
 
 
@@ -334,6 +456,9 @@ def build_parser() -> argparse.ArgumentParser:
     ls.set_defaults(fn=_cmd_list)
 
     va = sub.add_parser("validate", help="fast self-check of the core invariants")
+    va.add_argument("--artifacts", default=None, metavar="DIR",
+                    help="write observability artifacts (Perfetto trace, "
+                         "collapsed profile) from the battery to DIR")
     va.set_defaults(fn=_cmd_validate)
 
     ck = sub.add_parser("check", help="run one PARSEC model under the tick sanitizer")
@@ -359,7 +484,41 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--threads", type=int, default=1)
     run.add_argument("--mode", choices=[m.value for m in TickMode], default="paratick")
     run.add_argument("--target-mcycles", type=int, default=300)
-    run.set_defaults(fn=_cmd_run)
+    run.add_argument("--profile", action="store_true",
+                     help="attach the virtual-perf profiler and print top stacks")
+    run.add_argument("--trace-out", default=None, metavar="FILE",
+                     help="export the run as a Perfetto-loadable Chrome trace")
+    run.set_defaults(fn=_cmd_run, sample_us=10)
+
+    pf = sub.add_parser(
+        "perf", help="virtual perf: cycle profile, latency histograms, steal time"
+    )
+    pf.add_argument("benchmark", choices=list(parsec.BENCHMARK_NAMES))
+    pf.add_argument("--threads", type=int, default=2)
+    pf.add_argument("--mode", choices=[m.value for m in TickMode], default="tickless")
+    pf.add_argument("--target-mcycles", type=int, default=300)
+    pf.add_argument("--sample-us", type=int, default=10,
+                    help="busy-time sampling period in microseconds")
+    pf.add_argument("--top", type=int, default=15,
+                    help="collapsed stacks to print (most samples first)")
+    pf.add_argument("--overcommit", action="store_true",
+                    help="squeeze vCPUs onto fewer pCPUs (exercises steal)")
+    pf.add_argument("--json", action="store_true",
+                    help="emit metrics + profile + histograms as JSON on stdout")
+    pf.add_argument("--trace-out", default=None, metavar="FILE",
+                    help="export the run as a Perfetto-loadable Chrome trace")
+    pf.add_argument("--collapsed-out", default=None, metavar="FILE",
+                    help="write the collapsed-stack profile (flamegraph.pl input)")
+    pf.set_defaults(fn=_cmd_perf)
+
+    rp = sub.add_parser("report", help="run one PARSEC model and report RunMetrics")
+    rp.add_argument("benchmark", choices=list(parsec.BENCHMARK_NAMES))
+    rp.add_argument("--threads", type=int, default=1)
+    rp.add_argument("--mode", choices=[m.value for m in TickMode], default="paratick")
+    rp.add_argument("--target-mcycles", type=int, default=300)
+    rp.add_argument("--json", action="store_true",
+                    help="RunMetrics as JSON on stdout (machine-readable)")
+    rp.set_defaults(fn=_cmd_report, profile=False, trace_out=None)
     return p
 
 

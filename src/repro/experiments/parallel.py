@@ -49,7 +49,7 @@ from repro.metrics.report import Comparison, compare_runs
 
 #: Bump when the spec encoding or result encoding changes shape —
 #: invalidates every previously cached result.
-CACHE_VERSION = 1
+CACHE_VERSION = 2
 
 #: Default per-run wall-clock timeout (seconds of *real* time).
 DEFAULT_TIMEOUT_S = 600.0
@@ -163,6 +163,13 @@ class RunSpec:
     horizon_ns: Optional[int] = None
     label: Optional[str] = None
     keep_timer_on_idle_exit: bool = True
+    #: Collect a virtual-perf profile (sampling profiler + latency
+    #: histograms + steal) alongside the run. The profile is returned
+    #: in :attr:`GridResult.artifacts` and cached content-addressed
+    #: next to the result (``<key>.obs.json``). Ignored for the
+    #: multi-VM ``overcommit.idle`` kind. Profiling never perturbs
+    #: simulated time, so the RunMetrics are identical either way.
+    profile: bool = False
 
     def with_(self, **changes: Any) -> "RunSpec":
         from dataclasses import replace
@@ -191,6 +198,7 @@ def spec_to_dict(spec: RunSpec) -> dict:
         "horizon_ns": spec.horizon_ns,
         "label": spec.label,
         "keep_timer_on_idle_exit": spec.keep_timer_on_idle_exit,
+        "profile": spec.profile,
     }
 
 
@@ -212,6 +220,7 @@ def spec_from_dict(data: dict) -> RunSpec:
         horizon_ns=data["horizon_ns"],
         label=data["label"],
         keep_timer_on_idle_exit=bool(data["keep_timer_on_idle_exit"]),
+        profile=bool(data.get("profile", False)),
     )
 
 
@@ -250,19 +259,37 @@ def execute_spec(spec: RunSpec):
     :class:`~repro.experiments.overcommit.OvercommitResult` for
     ``overcommit.idle`` specs.
     """
+    return execute_spec_obs(spec)[0]
+
+
+def execute_spec_obs(spec: RunSpec) -> tuple[Any, Optional[dict]]:
+    """Like :func:`execute_spec`, plus the profile artifact.
+
+    The second element is the :meth:`repro.obs.Observability.to_json_dict`
+    payload when ``spec.profile`` is set (and the kind supports it),
+    else None.
+    """
     if spec.workload.kind == OVERCOMMIT_IDLE:
         from repro.experiments.overcommit import run_idle_overcommit
 
-        return run_idle_overcommit(spec.tick_mode, seed=spec.seed, **spec.workload.kwargs())
+        result = run_idle_overcommit(
+            spec.tick_mode, seed=spec.seed, **spec.workload.kwargs()
+        )
+        return result, None
 
     from repro.experiments.runner import DEFAULT_HORIZON_NS, run_workload
     from repro.host.costs import DEFAULT_COSTS
 
+    obs = None
+    if spec.profile:
+        from repro.obs import Observability
+
+        obs = Observability()
     costs = DEFAULT_COSTS
     if spec.cost_overrides:
         costs = costs.with_overrides(**dict(spec.cost_overrides))
     with _keep_timer(spec.keep_timer_on_idle_exit):
-        return run_workload(
+        result = run_workload(
             spec.workload.build(),
             tick_mode=spec.tick_mode,
             vcpus=spec.vcpus,
@@ -277,7 +304,9 @@ def execute_spec(spec: RunSpec):
             device_kind=spec.device_kind,
             horizon_ns=spec.horizon_ns if spec.horizon_ns is not None else DEFAULT_HORIZON_NS,
             label=spec.label,
+            obs=obs,
         )
+    return result, (obs.to_json_dict() if obs is not None else None)
 
 
 def encode_result(obj: Any) -> dict:
@@ -332,9 +361,18 @@ def _alarm(seconds: Optional[float]):
 
 
 def _worker_run(spec: RunSpec, timeout_s: Optional[float]) -> dict:
-    """Pool entry point: execute one spec under its timeout, encoded."""
+    """Pool entry point: execute one spec under its timeout, encoded.
+
+    A profile artifact (``spec.profile``) rides back in the ``"obs"``
+    key of the encoded dict; :func:`decode_result` ignores it and the
+    grid driver strips it into :attr:`GridResult.artifacts`.
+    """
     with _alarm(timeout_s):
-        return encode_result(execute_spec(spec))
+        result, obs = execute_spec_obs(spec)
+        encoded = encode_result(result)
+        if obs is not None:
+            encoded["obs"] = obs
+        return encoded
 
 
 # --------------------------------------------------------------------------
@@ -354,6 +392,10 @@ class ResultCache:
 
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
+
+    def artifact_path_for(self, key: str) -> Path:
+        """Profile artifact sibling of :meth:`path_for` (same address)."""
+        return self.root / key[:2] / f"{key}.obs.json"
 
     def load(self, spec: RunSpec) -> Any | None:
         """Decoded result for ``spec``, or None on miss/corruption."""
@@ -383,6 +425,29 @@ class ResultCache:
              "result": encoded},
             sort_keys=True,
         ))
+        os.replace(tmp, path)
+        return path
+
+    def load_artifact(self, spec: RunSpec) -> Optional[dict]:
+        """Cached profile artifact for ``spec``, or None."""
+        path = self.artifact_path_for(spec_key(spec))
+        try:
+            payload = json.loads(path.read_text())
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError):
+            self._discard(path)
+            return None
+        if not isinstance(payload, dict):
+            self._discard(path)
+            return None
+        return payload
+
+    def store_artifact(self, spec: RunSpec, obs: dict) -> Path:
+        path = self.artifact_path_for(spec_key(spec))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+        tmp.write_text(json.dumps(obs, sort_keys=True))
         os.replace(tmp, path)
         return path
 
@@ -427,6 +492,9 @@ class GridResult:
     failed_specs: list[FailedSpec] = field(default_factory=list)
     cache_hits: int = 0
     executed: int = 0
+    #: Profile artifacts for specs run with ``profile=True``
+    #: (the :meth:`repro.obs.Observability.to_json_dict` payload).
+    artifacts: dict[RunSpec, dict] = field(default_factory=dict)
 
     @property
     def complete(self) -> bool:
@@ -494,8 +562,13 @@ def run_grid(
     pending: list[RunSpec] = []
     for spec in unique:
         hit = cache.load(spec) if cache is not None else None
-        if hit is not None:
+        art = cache.load_artifact(spec) if cache is not None and spec.profile else None
+        if hit is not None and (not spec.profile or art is not None):
+            # A profiled spec only counts as a hit when its artifact is
+            # present too — a result without its profile is a miss.
             result.results[spec] = hit
+            if art is not None:
+                result.artifacts[spec] = art
             result.cache_hits += 1
             done += 1
             emit(spec, "cached")
@@ -504,11 +577,16 @@ def run_grid(
 
     def settle_ok(spec: RunSpec, encoded: dict) -> None:
         nonlocal done, cache
+        obs = encoded.pop("obs", None)
+        if obs is not None:
+            result.artifacts[spec] = obs
         result.results[spec] = decode_result(encoded)
         result.executed += 1
         if cache is not None:
             try:
                 cache.store(spec, encoded)
+                if obs is not None:
+                    cache.store_artifact(spec, obs)
             except OSError as exc:
                 # An unwritable store (bad cache_dir, full disk) must not
                 # sink a grid whose results are already in memory.

@@ -45,6 +45,7 @@ def run_workload(
     label: Optional[str] = None,
     tracer=None,
     inspect=None,
+    obs=None,
 ) -> RunMetrics:
     """Run one workload in one VM and return its metrics.
 
@@ -58,14 +59,24 @@ def run_workload(
     vm)`` after the run ends but before metrics collection — the
     sanitizer's reconciliation pass uses it to reach simulator internals
     (per-CPU ledgers) that :class:`RunMetrics` aggregates away.
+
+    ``obs``, when given, is a :class:`repro.obs.Observability` bundle:
+    its trace sinks are teed in front of ``tracer``, its sampling
+    profiler observes the cycle ledger, and it is finalized before
+    metrics collection. Observability never schedules simulator events,
+    so metrics are bit-identical with ``obs`` on or off.
     """
     nvcpus = vcpus if vcpus is not None else workload.default_vcpus()
     mspec = machine_spec or MachineSpec()
     if pinned_cpus is None:
         pinned_cpus = tuple(range(nvcpus))
+    if obs is not None:
+        tracer = obs.tracer(tracer)
     sim = Simulator(seed=seed, tracer=tracer)
     machine = Machine(sim, mspec)
     hv = Hypervisor(sim, machine, costs=costs, features=features)
+    if obs is not None:
+        obs.install(machine, hv)
     vm = hv.create_vm(
         VmSpec(
             name="vm0",
@@ -125,6 +136,9 @@ def run_workload(
     else:
         exec_time = sim.now  # open-ended workload: ran to the horizon
 
+    if obs is not None:
+        obs.finalize(sim, machine, hv)
+
     if inspect is not None:
         inspect(sim, machine, hv, vm)
 
@@ -134,6 +148,8 @@ def run_workload(
         "virtual_ticks": vm.virtual_ticks_injected,
         "halt_episodes": sum(v.halt_episodes for v in vm.vcpus),
         "halted_ns": sum(v.total_halted_ns for v in vm.vcpus),
+        "steal_ns": sum(v.total_steal_ns for v in vm.vcpus),
+        "steal_episodes": sum(v.steal_episodes for v in vm.vcpus),
     }
     from repro.host.vcpu import VcpuState
 

@@ -106,6 +106,57 @@ def check_fuzz_seed() -> str:
     return f"seed 0: {report.runs} runs, {report.events} events, 0 violations"
 
 
+def check_observability(artifacts_dir=None) -> str:
+    """The virtual-perf stack, end to end on an overcommitted run:
+    sample counts reconcile exactly with the cycle ledger, steal
+    reconciles against the runtime counters and the busy timeline, and
+    the exported Chrome trace passes schema validation.
+
+    With ``artifacts_dir``, the exported trace and collapsed-stack
+    profile are written there (CI uploads them as workflow artifacts).
+    """
+    from repro.config import MachineSpec
+    from repro.obs import ObsConfig, Observability
+    from repro.obs.export import validate_chrome_trace, write_chrome_trace
+
+    mspec = MachineSpec(sockets=1, cpus_per_socket=1)
+    obs = Observability(ObsConfig(trace_export=True))
+    internals: dict = {}
+
+    def inspect(sim, machine, hv, vm) -> None:
+        internals["machine"], internals["now"] = machine, sim.now
+        internals["hv"] = hv
+
+    m = run_workload(
+        PingPongWorkload(rounds=150), tick_mode=TickMode.TICKLESS, seed=7,
+        machine_spec=mspec, pinned_cpus=(0, 0), obs=obs, inspect=inspect,
+    )
+    machine, hv, now = internals["machine"], internals["hv"], internals["now"]
+    for cpu in machine.cpus:
+        want = cpu.busy_ns() // obs.profiler.period_ns
+        got = obs.profiler.samples_on(cpu.index)
+        assert got == want, f"pCPU{cpu.index}: {got} samples, ledger says {want}"
+    assert m.steal_ns > 0, "overcommitted ping-pong produced no steal"
+    bad = obs.steal.reconcile_runtime(hv)
+    bad += obs.steal.reconcile_timeline(machine, now)
+    assert not bad, bad[:3]
+    doc = obs.chrome_trace()
+    errors = validate_chrome_trace(doc)
+    assert not errors, errors[:3]
+    if artifacts_dir is not None:
+        import os
+
+        os.makedirs(artifacts_dir, exist_ok=True)
+        write_chrome_trace(doc, os.path.join(artifacts_dir, "pingpong.trace.json"))
+        with open(os.path.join(artifacts_dir, "pingpong.collapsed"), "w") as fh:
+            fh.write("\n".join(obs.profiler.collapsed()) + "\n")
+    return (
+        f"{obs.profiler.total_samples} samples ledger-exact, "
+        f"steal {m.steal_ns / 1e6:.2f} ms reconciled, "
+        f"{len(doc['traceEvents'])} trace events valid"
+    )
+
+
 ALL_CHECKS = (
     ("Table 1 closed forms", check_table1),
     ("determinism", check_determinism),
@@ -113,8 +164,15 @@ ALL_CHECKS = (
     ("paratick vs tickless on blocking sync", check_paratick_wins_sync),
     ("tick sanitizer battery", check_sanitizer),
     ("differential fuzz (seed 0)", check_fuzz_seed),
+    ("virtual-perf observability", check_observability),
 )
 
 
-def run_all() -> list[CheckResult]:
-    return [_check(name, fn) for name, fn in ALL_CHECKS]
+def run_all(artifacts_dir=None) -> list[CheckResult]:
+    results = []
+    for name, fn in ALL_CHECKS:
+        if fn is check_observability:
+            results.append(_check(name, lambda: check_observability(artifacts_dir)))
+        else:
+            results.append(_check(name, fn))
+    return results

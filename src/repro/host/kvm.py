@@ -605,10 +605,20 @@ class _VcpuExec:
         ``extra_ns`` carries the outgoing vCPU's block-side swtch cost;
         any deferred wake cost of this vCPU is also paid here — both
         now occupy the timeline, serialized before guest entry.
+
+        The READY wait that ends here is this vCPU's *steal time*
+        (runnable but not running); it is accounted on the vCPU the way
+        KVM feeds the guest's steal-time MSR.
         """
-        if self.vcpu.state is not VcpuState.READY:
-            raise HostError(f"dispatch of {self.vcpu!r} in state {self.vcpu.state}")
-        self.vcpu.state = VcpuState.EXITED
+        vcpu = self.vcpu
+        if vcpu.state is not VcpuState.READY:
+            raise HostError(f"dispatch of {vcpu!r} in state {vcpu.state}")
+        stolen_ns = self.sim.now - vcpu.ready_since_ns
+        vcpu.total_steal_ns += stolen_ns
+        vcpu.steal_episodes += 1
+        if self.sim.trace.enabled:
+            self._trace("sched_dispatch", (vcpu.pcpu.index, stolen_ns))
+        vcpu.state = VcpuState.EXITED
         ctx_ns = self.clock.cycles_to_ns(self.costs.ctx_switch)
         ctx_ns += extra_ns + self._pending_sched_ns
         self._pending_sched_ns = 0
@@ -739,6 +749,7 @@ class _VcpuExec:
         vcpu = self.vcpu
         nxt = self.hv.sched.release(vcpu)
         self.hv.sched.requeue(vcpu)
+        self._trace("sched_preempt", vcpu.pcpu.index)
         self._arm_host_deadline()
         if nxt is not None:
             nxt.exec.dispatch()

@@ -66,6 +66,7 @@ class HostScheduler:
         if vcpu in self._ready[idx]:
             raise HostError(f"{vcpu!r} queued twice")
         vcpu.state = VcpuState.READY
+        vcpu.ready_since_ns = vcpu.pcpu._sim.now
         self._ready[idx].append(vcpu)
         return False
 
@@ -93,6 +94,7 @@ class HostScheduler:
         if self._running[idx] is vcpu:
             raise HostError(f"{vcpu!r} still marked running")
         vcpu.state = VcpuState.READY
+        vcpu.ready_since_ns = vcpu.pcpu._sim.now
         self._ready[idx].append(vcpu)
 
     def forget(self, vcpu: VCpu) -> None:

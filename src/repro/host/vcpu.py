@@ -46,6 +46,9 @@ class VCpu:
         "halted_since_ns",
         "total_halted_ns",
         "halt_episodes",
+        "ready_since_ns",
+        "total_steal_ns",
+        "steal_episodes",
         "requested_cstate",
         "cstate_residency_ns",
         "exec",
@@ -68,6 +71,14 @@ class VCpu:
         self.total_halted_ns: int = 0
         #: Number of completed halt episodes.
         self.halt_episodes: int = 0
+        #: When the current READY wait began (overcommit only).
+        self.ready_since_ns: int = 0
+        #: Cumulative time spent runnable-but-not-running — the
+        #: guest-visible *steal time* of arXiv:1810.01139, accounted by
+        #: the host at dispatch (mirrors KVM's steal-time MSR).
+        self.total_steal_ns: int = 0
+        #: Number of completed READY waits (dispatches after a queue wait).
+        self.steal_episodes: int = 0
         #: C-state the guest requested for the current/next halt
         #: (MWAIT hint; None = plain HLT / cpuidle model disabled).
         self.requested_cstate = None

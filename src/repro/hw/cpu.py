@@ -68,7 +68,7 @@ OVERHEAD_DOMAINS = frozenset(
 class PhysicalCPU:
     """One physical CPU: identity, socket, and busy-time ledger."""
 
-    __slots__ = ("index", "socket", "clock", "_sim", "_busy_ns")
+    __slots__ = ("index", "socket", "clock", "_sim", "_busy_ns", "observer")
 
     def __init__(self, sim: Simulator, index: int, socket: int, clock: CpuClock):
         self._sim = sim
@@ -76,6 +76,10 @@ class PhysicalCPU:
         self.socket = socket
         self.clock = clock
         self._busy_ns: dict[CycleDomain, int] = {d: 0 for d in CycleDomain}
+        #: Ledger observer (the obs-layer sampling profiler). None in
+        #: production runs, so the hot path pays one attribute check —
+        #: the accounting analogue of ``Tracer.enabled``.
+        self.observer = None
 
     # -------------------------------------------------------------- ledger
 
@@ -84,6 +88,8 @@ class PhysicalCPU:
         if ns < 0:
             raise HardwareError(f"cpu{self.index}: negative busy time {ns}")
         self._busy_ns[domain] += ns
+        if self.observer is not None:
+            self.observer.on_account(self, domain, ns)
 
     def account_cycles(self, domain: CycleDomain, cycles: int) -> int:
         """Record busy time for ``cycles`` CPU cycles; returns the ns used."""

@@ -49,6 +49,16 @@ class RunMetrics:
         """Fraction of busy cycles spent on virtualization overhead."""
         return self.overhead_cycles / self.total_cycles if self.total_cycles else 0.0
 
+    @property
+    def steal_ns(self) -> int:
+        """Aggregate vCPU steal time (READY waits), 0 when never queued."""
+        return int(self.extra.get("steal_ns", 0))
+
+    @property
+    def steal_ratio(self) -> float:
+        """Steal time as a fraction of execution time (the guest's %st)."""
+        return self.steal_ns / self.exec_time_ns if self.exec_time_ns else 0.0
+
     def exits_per_second(self) -> float:
         return self.total_exits / (self.exec_time_ns / 1e9) if self.exec_time_ns else 0.0
 

@@ -56,6 +56,48 @@ def compare_runs(baseline: RunMetrics, candidate: RunMetrics, label: str = "") -
     )
 
 
+#: Columns of :func:`overhead_breakdown_rows`, in order.
+BREAKDOWN_HEADERS = (
+    "run", "exec", "useful%", "overhead%", "tick%", "steal%", "exits/s",
+)
+
+
+def overhead_breakdown_rows(runs: Iterable[RunMetrics]) -> list[tuple[str, ...]]:
+    """Grid-wide overhead breakdown, one row per run.
+
+    This is the summary the virtual-perf CLI and the parallel engine
+    print after a grid: where each run's cycles went (useful guest work
+    vs virtualization overhead vs the tick path specifically), how much
+    runnable time was stolen, and the exit rate — the paper's Table 1
+    quantities, computed per cell instead of aggregated.
+    """
+    from repro.hw.cpu import CycleDomain
+    from repro.sim.timebase import fmt_time
+
+    rows = []
+    for m in runs:
+        total = m.total_cycles or 1
+        clock_ratio = m.total_cycles / max(1, sum(m.ledger.values()))
+        tick_cycles = (
+            m.ledger.get(CycleDomain.HOST_TICK, 0) + m.ledger.get(CycleDomain.POLLUTION, 0)
+        ) * clock_ratio
+        rows.append((
+            m.label,
+            fmt_time(m.exec_time_ns),
+            f"{m.useful_cycles / total:.1%}",
+            f"{m.overhead_ratio:.1%}",
+            f"{tick_cycles / total:.1%}",
+            f"{m.steal_ratio:.1%}",
+            f"{m.exits_per_second():,.0f}",
+        ))
+    return rows
+
+
+def format_overhead_breakdown(runs: Iterable[RunMetrics], *, title: str = "") -> str:
+    """Aligned text table of :func:`overhead_breakdown_rows`."""
+    return format_table(BREAKDOWN_HEADERS, overhead_breakdown_rows(runs), title=title)
+
+
 def format_table(headers: Sequence[str], rows: Iterable[Sequence[str]], *, title: str = "") -> str:
     """Render an aligned plain-text table (the benches print these)."""
     rows = [tuple(str(c) for c in r) for r in rows]

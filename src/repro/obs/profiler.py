@@ -1,0 +1,166 @@
+"""Virtual sampling profiler over the cycle ledger.
+
+The paper's authors ran ``perf`` on the host to attribute cycles to the
+timer path (§6). The simulator's equivalent cannot interrupt anything —
+instead it observes the one place every busy nanosecond already flows
+through: :meth:`repro.hw.cpu.PhysicalCPU.account`. The profiler keeps a
+per-pCPU cursor along that CPU's *busy timeline* and takes one sample
+every ``sample_period_ns`` of busy time, attributing it to the tuple
+
+    ``(pCPU, vCPU, CycleDomain, guest context)``
+
+where the guest context is the running task's name for guest domains
+and a fixed host frame otherwise. Because the cursor advances exactly
+with the ledger, sample counts reconcile with it by construction:
+``samples(pcpu) == busy_ns(pcpu) // period`` — an invariant the obs
+tests assert.
+
+This is *busy-time* sampling, not wall-clock sampling: idle time is
+never sampled (it is reported separately as ``elapsed - busy``), and a
+segment accounted in arrears is attributed at its completion instant,
+so the guest context seen is the one current when the segment *ends*.
+Both caveats are documented in ``docs/observability.md``; neither
+perturbs simulated time — the profiler schedules nothing.
+
+Output is a flamegraph-ready collapsed-stack rendering
+(``pcpu0;vm0/vcpu1;guest_user;worker-3 1234`` — one line per unique
+stack, count of samples last), the format ``flamegraph.pl`` and
+speedscope consume directly.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.hw.cpu import CycleDomain, PhysicalCPU
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.host.kvm import Hypervisor
+    from repro.hw.cpu import Machine
+
+#: Default virtual sampling period: 10 us of busy time = 100 kHz, an
+#: order of magnitude above perf's usual 99 Hz because virtual samples
+#: are free — no sampled system exists to perturb.
+DEFAULT_SAMPLE_PERIOD_NS = 10_000
+
+#: Context frame used for host-side domains (no guest task is running
+#: *in* them; the work belongs to the hypervisor).
+_HOST_FRAMES = {
+    CycleDomain.VMX_TRANSITION: "kvm:world_switch",
+    CycleDomain.POLLUTION: "kvm:pollution",
+    CycleDomain.HOST_HANDLER: "kvm:exit_handler",
+    CycleDomain.HOST_TICK: "host:tick",
+    CycleDomain.HOST_IO: "host:vhost",
+    CycleDomain.HOST_SCHED: "host:sched",
+    CycleDomain.HALT_POLL: "kvm:halt_poll",
+}
+
+#: Guest domains, attributed to the current task of the running vCPU.
+_GUEST_DOMAINS = frozenset({CycleDomain.GUEST_USER, CycleDomain.GUEST_KERNEL})
+
+
+class SamplingProfiler:
+    """Ledger observer taking one sample per period of pCPU busy time."""
+
+    def __init__(self, period_ns: int = DEFAULT_SAMPLE_PERIOD_NS) -> None:
+        if period_ns <= 0:
+            raise ValueError(f"sample period must be positive, got {period_ns}")
+        self.period_ns = period_ns
+        #: (pcpu_index, vcpu_source, domain_value, context) -> samples.
+        self.samples: dict[tuple[int, str, str, str], int] = {}
+        self._cursors: dict[int, int] = {}
+        self._hv: Optional["Hypervisor"] = None
+        self._machine: Optional["Machine"] = None
+        #: kernels by VM name, resolved lazily (guest attaches after VM).
+        self._kernels: dict[str, object] = {}
+
+    # ------------------------------------------------------------- lifecycle
+
+    def install(self, machine: "Machine", hv: "Hypervisor") -> None:
+        """Attach to every pCPU of ``machine`` (one per run)."""
+        self._hv = hv
+        self._machine = machine
+        for cpu in machine.cpus:
+            if cpu.observer is not None:
+                raise ValueError(f"pCPU{cpu.index} already has a ledger observer")
+            cpu.observer = self
+            self._cursors[cpu.index] = 0
+
+    def uninstall(self) -> None:
+        if self._machine is not None:
+            for cpu in self._machine.cpus:
+                if cpu.observer is self:
+                    cpu.observer = None
+
+    # ------------------------------------------------------------- sampling
+
+    def on_account(self, pcpu: PhysicalCPU, domain: CycleDomain, ns: int) -> None:
+        """Ledger hook: advance the busy cursor, emit crossed samples."""
+        cur = self._cursors[pcpu.index]
+        new = cur + ns
+        n = new // self.period_ns - cur // self.period_ns
+        self._cursors[pcpu.index] = new
+        if n:
+            key = (pcpu.index,) + self._attribute(pcpu, domain)
+            self.samples[key] = self.samples.get(key, 0) + n
+
+    def _attribute(self, pcpu: PhysicalCPU, domain: CycleDomain) -> tuple[str, str, str]:
+        """(vcpu_source, domain_value, context) for a segment ending now."""
+        vcpu = self._hv.sched.running_on(pcpu.index) if self._hv is not None else None
+        if vcpu is None:
+            return "host", domain.value, _HOST_FRAMES.get(domain, domain.value)
+        source = f"{vcpu.vm_name}/vcpu{vcpu.index}"
+        if domain in _GUEST_DOMAINS:
+            return source, domain.value, self._guest_context(vcpu)
+        return source, domain.value, _HOST_FRAMES.get(domain, domain.value)
+
+    def _guest_context(self, vcpu) -> str:
+        kernel = self._kernels.get(vcpu.vm_name)
+        if kernel is None:
+            try:
+                kernel = self._hv.find_vm(vcpu.vm_name).kernel
+            except Exception:
+                return "?"
+            self._kernels[vcpu.vm_name] = kernel
+        task = kernel.sched.current(vcpu.index) if kernel is not None else None
+        return task.name if task is not None else "idle"
+
+    # -------------------------------------------------------------- readouts
+
+    @property
+    def total_samples(self) -> int:
+        return sum(self.samples.values())
+
+    def samples_on(self, pcpu_index: int) -> int:
+        return sum(c for k, c in self.samples.items() if k[0] == pcpu_index)
+
+    def by_domain(self) -> dict[str, int]:
+        """Sample histogram over cycle domains (the ledger, resampled)."""
+        out: dict[str, int] = {}
+        for (_, _, domain, _), c in self.samples.items():
+            out[domain] = out.get(domain, 0) + c
+        return out
+
+    def by_context(self) -> dict[str, int]:
+        """Sample histogram over guest/host context frames."""
+        out: dict[str, int] = {}
+        for (_, _, _, ctx), c in self.samples.items():
+            out[ctx] = out.get(ctx, 0) + c
+        return out
+
+    def collapsed(self) -> list[str]:
+        """Collapsed-stack lines, most samples first (flamegraph input)."""
+        lines = []
+        for (pcpu, vcpu, domain, ctx), count in sorted(
+            self.samples.items(), key=lambda kv: (-kv[1], kv[0])
+        ):
+            lines.append(f"pcpu{pcpu};{vcpu};{domain};{ctx} {count}")
+        return lines
+
+    def to_json_dict(self) -> dict:
+        return {
+            "period_ns": self.period_ns,
+            "total_samples": self.total_samples,
+            "by_domain": self.by_domain(),
+            "collapsed": self.collapsed(),
+        }

@@ -59,16 +59,28 @@ class RingTracer(Tracer):
     def __init__(self, capacity: int = 100_000, kinds: Optional[Iterable[str]] = None):
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
         self.records: deque[TraceRecord] = deque(maxlen=capacity)
         self._kinds = frozenset(kinds) if kinds is not None else None
         #: Total records offered, including ones filtered or evicted.
         self.offered = 0
+        #: Records evicted by capacity overflow. Consumers (profiler,
+        #: trace export) must surface a non-zero count instead of
+        #: silently under-reporting the head of the run.
+        self.dropped = 0
 
     def emit(self, time: int, source: str, kind: str, detail: Any = None) -> None:
         self.offered += 1
         if self._kinds is not None and kind not in self._kinds:
             return
+        if len(self.records) == self.capacity:
+            self.dropped += 1
         self.records.append(TraceRecord(time, source, kind, detail))
+
+    @property
+    def truncated(self) -> bool:
+        """True when the ring evicted records (output is a suffix)."""
+        return self.dropped > 0
 
     def of_kind(self, kind: str) -> list[TraceRecord]:
         """All retained records of one kind, in time order."""

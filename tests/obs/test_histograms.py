@@ -1,0 +1,124 @@
+"""Log2 histogram unit behaviour: bucketing, merge, percentiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.histograms import N_BUCKETS, HistogramRegistry, Log2Histogram
+
+
+class TestLog2Histogram:
+    def test_empty(self):
+        h = Log2Histogram()
+        assert h.count == 0
+        assert h.mean == 0.0
+        assert h.percentile(50) == 0
+        assert h.min is None and h.max == 0
+
+    def test_bucket_boundaries(self):
+        """Value v lands in bucket v.bit_length(): [2^(b-1), 2^b)."""
+        h = Log2Histogram()
+        for v in (0, 1, 2, 3, 4, 7, 8, 1023, 1024):
+            h.record(v)
+        assert h.counts[0] == 1          # 0
+        assert h.counts[1] == 1          # 1
+        assert h.counts[2] == 2          # 2, 3
+        assert h.counts[3] == 2          # 4, 7
+        assert h.counts[4] == 1          # 8
+        assert h.counts[10] == 1         # 1023
+        assert h.counts[11] == 1         # 1024
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Log2Histogram().record(-1)
+
+    def test_huge_value_clamps_to_last_bucket(self):
+        h = Log2Histogram()
+        h.record(1 << 80)
+        assert h.counts[N_BUCKETS - 1] == 1
+        assert h.max == 1 << 80
+
+    def test_stats_track_exactly(self):
+        h = Log2Histogram()
+        values = [5, 17, 100, 100, 3]
+        for v in values:
+            h.record(v)
+        assert h.count == len(values)
+        assert h.total == sum(values)
+        assert h.mean == pytest.approx(sum(values) / len(values))
+        assert h.min == 3 and h.max == 100
+
+    def test_percentile_within_envelope(self):
+        """Percentiles are bucket-resolution but never leave [min, max]."""
+        h = Log2Histogram()
+        for v in (10, 20, 1000, 2000, 4000):
+            h.record(v)
+        for p in (0, 25, 50, 75, 95, 99, 100):
+            assert h.min <= h.percentile(p) <= h.max
+
+    def test_percentile_orders(self):
+        h = Log2Histogram()
+        for v in [2] * 90 + [1 << 20] * 10:
+            h.record(v)
+        assert h.percentile(50) < h.percentile(99)
+        assert h.percentile(99) >= 1 << 19
+
+    def test_percentile_out_of_range(self):
+        with pytest.raises(ValueError):
+            Log2Histogram().percentile(101)
+
+    def test_merge_is_bucketwise_sum(self):
+        a, b = Log2Histogram(), Log2Histogram()
+        for v in (1, 5, 100):
+            a.record(v)
+        for v in (7, 10_000):
+            b.record(v)
+        m = a.merge(b)
+        assert m.count == 5
+        assert m.total == a.total + b.total
+        assert m.min == 1 and m.max == 10_000
+        assert m.counts == [x + y for x, y in zip(a.counts, b.counts)]
+
+    def test_merge_with_empty(self):
+        a = Log2Histogram()
+        a.record(42)
+        m = a.merge(Log2Histogram())
+        assert m.count == 1 and m.min == 42 and m.max == 42
+
+    def test_nonzero_buckets_ranges(self):
+        h = Log2Histogram()
+        h.record(0)
+        h.record(6)
+        buckets = list(h.nonzero_buckets())
+        assert (0, 0, 1) in buckets
+        assert (4, 7, 1) in buckets
+
+    def test_json_round_shape(self):
+        h = Log2Histogram()
+        h.record(9)
+        d = h.to_json_dict()
+        assert d["count"] == 1 and d["buckets"] == {"4": 1}
+        s = h.summary()
+        assert set(s) == {"count", "mean_ns", "p50_ns", "p95_ns", "p99_ns", "max_ns"}
+
+
+class TestHistogramRegistry:
+    def test_get_creates_once(self):
+        r = HistogramRegistry()
+        assert r.get("a") is r.get("a")
+        assert len(r) == 1
+
+    def test_record_and_rows(self):
+        r = HistogramRegistry()
+        r.record("wake", 1500)
+        r.record("wake", 3000)
+        r.record("exit", 200)
+        assert r.names() == ["exit", "wake"]
+        rows = r.summary_rows()
+        assert len(rows) == 2
+        assert rows[1][0] == "wake" and rows[1][1] == "2"
+
+    def test_json_dict(self):
+        r = HistogramRegistry()
+        r.record("x", 5)
+        assert r.to_json_dict()["x"]["count"] == 1

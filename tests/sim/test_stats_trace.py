@@ -134,6 +134,27 @@ class TestTracers:
         with pytest.raises(ValueError):
             RingTracer(capacity=0)
 
+    def test_ring_tracer_counts_drops(self):
+        """Overflow evictions are counted, not silent: a consumer can
+        tell a complete trace from a suffix."""
+        t = RingTracer(capacity=3)
+        for i in range(3):
+            t.emit(i, "src", "k")
+        assert t.dropped == 0 and not t.truncated
+        t.emit(3, "src", "k")
+        t.emit(4, "src", "k")
+        assert t.dropped == 2 and t.truncated
+        assert [r.time for r in t.records] == [2, 3, 4]
+        assert t.offered == 5
+
+    def test_ring_tracer_filtered_records_are_not_drops(self):
+        """Kind-filtered records never entered the ring, so they do not
+        count as evictions."""
+        t = RingTracer(capacity=2, kinds={"keep"})
+        for i in range(5):
+            t.emit(i, "src", "drop")
+        assert t.dropped == 0 and not t.truncated
+
     def test_callback_tracer(self):
         got = []
         t = CallbackTracer(got.append)

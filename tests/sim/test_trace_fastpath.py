@@ -93,3 +93,46 @@ class TestTeeTracer:
     def test_empty_tee_rejected(self):
         with pytest.raises(ValueError):
             TeeTracer()
+
+
+class TestTeeWithObsSinks:
+    """The observability layer composes through TeeTracer: its sinks are
+    always-on tracers, so the tee must report enabled, and the builder
+    must never wrap a disabled user tracer in an enabled tee for free."""
+
+    def test_obs_sinks_enable_the_tee(self):
+        from repro.obs.steal import StealTracker
+
+        assert TeeTracer(NullTracer(), StealTracker()).enabled is True
+
+    def test_obs_builder_propagates_enabled(self):
+        from repro.obs import ObsConfig, Observability
+
+        on = Observability(ObsConfig(trace_export=True))
+        assert on.tracer(None).enabled is True
+        assert on.tracer(ExplodingTracer()).enabled is True
+        off = Observability(ObsConfig(
+            profile=False, latency=False, steal=False, trace_export=False))
+        # No sinks: the user's disabled tracer passes through untouched,
+        # keeping the zero-work fast path.
+        exploding = ExplodingTracer()
+        assert off.tracer(exploding) is exploding
+        run_workload(PingPongWorkload(rounds=40), seed=3,
+                     tracer=off.tracer(ExplodingTracer()))
+
+
+class TestCallbackTracerUnderExporter:
+    def test_callback_stream_exports_to_valid_chrome_trace(self):
+        """A CallbackTracer collecting the live stream feeds the Chrome
+        exporter just like a RingTracer dump — streaming consumers are
+        not second-class."""
+        from repro.sim.trace import CallbackTracer
+        from repro.obs.export import to_chrome_trace, validate_chrome_trace
+
+        got = []
+        run_workload(PingPongWorkload(rounds=40), seed=3,
+                     tracer=CallbackTracer(got.append))
+        assert got, "callback tracer saw no records"
+        doc = to_chrome_trace(got)
+        assert validate_chrome_trace(doc) == []
+        assert any(ev["ph"] == "X" for ev in doc["traceEvents"])
