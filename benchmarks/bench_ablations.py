@@ -6,6 +6,10 @@ Also runnable as a script: ``python benchmarks/bench_ablations.py --jobs 4``.
 
 from __future__ import annotations
 
+import pytest
+
+pytestmark = pytest.mark.perf
+
 import sys
 from pathlib import Path
 

@@ -12,6 +12,10 @@ one, above it fewer.
 
 from __future__ import annotations
 
+import pytest
+
+pytestmark = pytest.mark.perf
+
 from repro.config import TickMode
 from repro.core.model import (
     FORMULA_CONVENTION,

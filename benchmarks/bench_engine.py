@@ -7,6 +7,10 @@ hot paths (event queue, timer wheel, hrtimers, full-stack op loop).
 
 from __future__ import annotations
 
+import pytest
+
+pytestmark = pytest.mark.perf
+
 from repro.config import TickMode
 from repro.experiments.runner import run_workload
 from repro.guest.hrtimer import HrtimerQueue

@@ -12,6 +12,10 @@ Two measurements on the cpuidle+energy extension:
 
 from __future__ import annotations
 
+import pytest
+
+pytestmark = pytest.mark.perf
+
 from repro.config import TickMode
 from repro.experiments.runner import run_workload
 from repro.metrics.energy import estimate_energy

@@ -9,6 +9,10 @@ speed, mirroring §6.3's storage-device argument.
 
 from __future__ import annotations
 
+import pytest
+
+pytestmark = pytest.mark.perf
+
 from repro.config import TickMode
 from repro.experiments.runner import run_workload
 from repro.hw.nic import DATACENTER_10G, DATACENTER_100G

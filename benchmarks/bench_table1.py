@@ -12,6 +12,10 @@ Also runnable as a script (the parallel-engine smoke driver)::
 
 from __future__ import annotations
 
+import pytest
+
+pytestmark = pytest.mark.perf
+
 import sys
 from pathlib import Path
 

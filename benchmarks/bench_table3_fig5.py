@@ -13,6 +13,10 @@ Also runnable as a script: ``python benchmarks/bench_table3_fig5.py --jobs 4``.
 
 from __future__ import annotations
 
+import pytest
+
+pytestmark = pytest.mark.perf
+
 import sys
 from pathlib import Path
 

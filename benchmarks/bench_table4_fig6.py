@@ -8,6 +8,10 @@ Also runnable as a script: ``python benchmarks/bench_table4_fig6.py --jobs 4``.
 
 from __future__ import annotations
 
+import pytest
+
+pytestmark = pytest.mark.perf
+
 import sys
 from pathlib import Path
 

@@ -1,0 +1,244 @@
+"""Golden fixtures for the bit-identical engine guarantee.
+
+The simulation core is rewritten for throughput from time to time (free
+lists, re-arm fast paths, inlined dispatch loops). Every such rewrite
+must be *behaviour preserving down to the bit*: same seed, same
+workload, same tick mode ⇒ the same ``RunMetrics`` JSON and the same
+structured event stream. This module pins that contract:
+
+* :func:`capture` runs a fixed battery — a hand-picked workload set per
+  tick mode (with a hashing tracer riding along) plus the first 20
+  differential-fuzz scenarios per tick mode and placement (untraced,
+  the production fast path) — and writes every metrics dict and stream
+  hash to a fixture file;
+* :func:`compare` re-runs the battery against the committed fixture and
+  reports every divergence.
+
+The committed fixture (``tests/fixtures/golden_simcore.json``) was
+captured on the seed-era engine *before* the first fast-path rewrite;
+``tests/integration/test_determinism_golden.py`` replays it on every
+run. Update it only when behaviour is *intended* to change::
+
+    PYTHONPATH=src python -m repro.analysis.golden --write
+
+and call out the behaviour change in the PR description.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Callable, Iterator, Optional
+
+from repro.analysis.fuzz import SOLO, OVERCOMMIT, placement_for, scenario_for_seed
+from repro.config import MachineSpec, TickMode
+from repro.experiments.runner import run_workload
+from repro.metrics.perf import RunMetrics
+from repro.sim.timebase import USEC
+from repro.sim.trace import Tracer
+
+#: Fixture location relative to the repo root.
+DEFAULT_FIXTURE = Path("tests/fixtures/golden_simcore.json")
+
+#: Seeds covered by the fuzz-equivalence section.
+FUZZ_SEEDS = tuple(range(20))
+
+#: Bump when the battery itself changes shape (invalidates old files).
+SCHEMA = 1
+
+
+def _canon(detail: Any) -> str:
+    """Stable text form of a trace detail (tuples of ints/strs in practice)."""
+    return json.dumps(detail, sort_keys=True, default=repr)
+
+
+class HashTracer(Tracer):
+    """Folds the full structured event stream into one SHA-256."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._h = hashlib.sha256()
+        self.records = 0
+
+    def emit(self, time: int, source: str, kind: str, detail: Any = None) -> None:
+        self.records += 1
+        self._h.update(f"{time}|{source}|{kind}|{_canon(detail)}\n".encode())
+
+    def hexdigest(self) -> str:
+        return self._h.hexdigest()
+
+
+def metrics_digest(metrics: RunMetrics) -> str:
+    """Canonical SHA-256 of a run's full metrics JSON."""
+    payload = json.dumps(metrics.to_json_dict(), sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+# --------------------------------------------------------------- batteries
+
+
+def _workload_cases() -> Iterator[tuple[str, Callable, dict]]:
+    """(case name, workload factory, run_workload kwargs) triples.
+
+    Factories, not instances: task bodies are single-use generators and
+    each (case, mode) cell needs a fresh one.
+    """
+    from repro.workloads.micro import IdlePeriodWorkload, PingPongWorkload, SyncStormWorkload
+    from repro.workloads.netserve import NetServiceWorkload
+
+    yield (
+        "syncstorm",
+        lambda: SyncStormWorkload(threads=2, events_per_second=800.0, duration_cycles=20_000_000),
+        {"seed": 3},
+    )
+    yield (
+        "idleperiod",
+        lambda: IdlePeriodWorkload(500 * USEC, iterations=30, work_cycles=100_000),
+        {"seed": 5, "cpuidle": True},
+    )
+    yield (
+        "netserve",
+        lambda: NetServiceWorkload(workers=2, requests=120, think_cycles=30_000),
+        {"seed": 7},
+    )
+    yield (
+        "pingpong-overcommit",
+        lambda: PingPongWorkload(rounds=120, work_cycles=50_000, same_vcpu=False),
+        {
+            "seed": 11,
+            "machine_spec": MachineSpec(sockets=1, cpus_per_socket=1),
+            "pinned_cpus": (0, 0),
+        },
+    )
+
+
+def _run_workload_case(name: str, factory: Callable, kwargs: dict, mode: TickMode) -> dict:
+    tracer = HashTracer()
+    metrics = run_workload(
+        factory(), tick_mode=mode, tracer=tracer,
+        label=f"golden/{name}/{mode.value}", **kwargs,
+    )
+    return {
+        "metrics": metrics.to_json_dict(),
+        "trace_sha256": tracer.hexdigest(),
+        "trace_records": tracer.records,
+    }
+
+
+def _run_fuzz_case(seed: int, mode: TickMode, placement: str) -> str:
+    """One untraced (production fast path) fuzz-scenario run → metrics hash."""
+    scenario = scenario_for_seed(seed)
+    workload = scenario.make_workload()
+    mspec, pinned = placement_for(workload.default_vcpus(), placement)
+    metrics = run_workload(
+        workload,
+        tick_mode=mode,
+        machine_spec=mspec,
+        pinned_cpus=pinned,
+        tick_hz=scenario.tick_hz,
+        seed=scenario.seed,
+        noise=scenario.noise,
+        cpuidle=scenario.cpuidle,
+        horizon_ns=scenario.horizon_ns,
+        label=f"fuzz{seed}/{scenario.kind}/{mode.value}/{placement}",
+    )
+    return metrics_digest(metrics)
+
+
+def run_battery(progress: Optional[Callable[[str], None]] = None) -> dict:
+    """Execute the full battery and return the fixture payload."""
+
+    def note(msg: str) -> None:
+        if progress is not None:
+            progress(msg)
+
+    workloads: dict[str, dict] = {}
+    for name, factory, kwargs in _workload_cases():
+        for mode in TickMode:
+            key = f"{name}/{mode.value}"
+            workloads[key] = _run_workload_case(name, factory, kwargs, mode)
+            note(key)
+    fuzz: dict[str, str] = {}
+    for seed in FUZZ_SEEDS:
+        for placement in (SOLO, OVERCOMMIT):
+            for mode in TickMode:
+                key = f"seed{seed}/{mode.value}/{placement}"
+                fuzz[key] = _run_fuzz_case(seed, mode, placement)
+        note(f"fuzz seed {seed}")
+    return {"schema": SCHEMA, "workloads": workloads, "fuzz": fuzz}
+
+
+# ------------------------------------------------------------ read/compare
+
+
+def capture(path: Path = DEFAULT_FIXTURE, progress=None) -> dict:
+    """Run the battery and write the fixture file."""
+    payload = run_battery(progress)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    return payload
+
+
+def load(path: Path = DEFAULT_FIXTURE) -> dict:
+    data = json.loads(Path(path).read_text())
+    if data.get("schema") != SCHEMA:
+        raise ValueError(
+            f"golden fixture schema {data.get('schema')} != expected {SCHEMA}; re-capture"
+        )
+    return data
+
+
+def compare(path: Path = DEFAULT_FIXTURE, progress=None) -> list[str]:
+    """Re-run the battery; return human-readable divergences (empty = ok)."""
+    golden = load(path)
+    fresh = run_battery(progress)
+    problems: list[str] = []
+    for key, want in golden["workloads"].items():
+        got = fresh["workloads"].get(key)
+        if got is None:
+            problems.append(f"workload case {key} missing from battery")
+            continue
+        if got["metrics"] != want["metrics"]:
+            diffs = [
+                f"{field}: {want['metrics'][field]!r} -> {got['metrics'][field]!r}"
+                for field in want["metrics"]
+                if got["metrics"].get(field) != want["metrics"][field]
+            ]
+            problems.append(f"{key}: RunMetrics diverged ({'; '.join(diffs)})")
+        if got["trace_sha256"] != want["trace_sha256"]:
+            problems.append(
+                f"{key}: event stream diverged "
+                f"({want['trace_records']} -> {got['trace_records']} records)"
+            )
+    for key, want in golden["fuzz"].items():
+        got = fresh["fuzz"].get(key)
+        if got is None:
+            problems.append(f"fuzz case {key} missing from battery")
+        elif got != want:
+            problems.append(f"fuzz {key}: metrics hash diverged")
+    return problems
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    import argparse
+
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("--fixture", type=Path, default=DEFAULT_FIXTURE)
+    ap.add_argument("--write", action="store_true",
+                    help="re-capture the fixture instead of checking it")
+    args = ap.parse_args(argv)
+    if args.write:
+        capture(args.fixture, progress=print)
+        print(f"wrote {args.fixture}")
+        return 0
+    problems = compare(args.fixture, progress=None)
+    for p in problems:
+        print(f"DIVERGED: {p}")
+    print("golden battery:", "clean" if not problems else f"{len(problems)} divergences")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,17 +7,26 @@ earliest enqueued timer is what the clockevents layer programs into the
 ``TSC_DEADLINE`` MSR — so the number of hardware (re)programmings, and
 therefore VM exits, falls out of this queue's behaviour.
 
-Implemented as a heap with lazy deletion (same pattern as the engine's
-event queue): cancel is O(1), peek/pop skip dead entries.
+Implemented exactly like the engine's event queue: a heap of
+``(expires, seq, timer)`` tuples (native tuple compare, no Python-level
+``__lt__`` on the hot path) with lazy deletion. A heap entry is live iff
+the timer is active *and* its seq still matches — :meth:`HrtimerQueue.rearm`
+moves a timer by assigning a fresh seq and pushing a new entry, so the
+tick restart of tickless/paratick mode (the single hottest hrtimer
+operation) allocates nothing. Dead entries are dropped on drain or by an
+amortized in-place compaction.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
 from typing import Callable, Optional
 
 from repro.errors import GuestError
+
+#: Compaction floor, matching the engine queue's rationale: below this
+#: many dead entries a rebuild cannot win.
+_COMPACT_MIN_DEAD = 32
 
 
 class Hrtimer:
@@ -47,10 +56,14 @@ class Hrtimer:
 class HrtimerQueue:
     """Per-vCPU set of pending hrtimers."""
 
+    __slots__ = ("_heap", "_live", "_dead", "_seq")
+
     def __init__(self) -> None:
-        self._heap: list[Hrtimer] = []
+        self._heap: list[tuple[int, int, Hrtimer]] = []
         self._live = 0
-        self._seq = itertools.count()
+        #: Dead entries (cancelled or orphaned by re-arm) still heaped.
+        self._dead = 0
+        self._seq = 0
 
     def __len__(self) -> int:
         return self._live
@@ -59,10 +72,36 @@ class HrtimerQueue:
         """Enqueue a timer with an absolute expiry."""
         if expires_ns < 0:
             raise GuestError(f"negative expiry {expires_ns}")
-        t = Hrtimer(expires_ns, callback, name, next(self._seq))
-        heapq.heappush(self._heap, t)
+        seq = self._seq
+        self._seq = seq + 1
+        t = Hrtimer(expires_ns, callback, name, seq)
+        heapq.heappush(self._heap, (expires_ns, seq, t))
         self._live += 1
         return t
+
+    def rearm(self, timer: Hrtimer, expires_ns: int) -> Hrtimer:
+        """Re-enqueue ``timer`` at a new expiry without allocating.
+
+        Accepts active timers (the old heap entry is orphaned — its seq
+        no longer matches — and dropped lazily), as well as expired or
+        cancelled ones (Linux's ``hrtimer_restart``). This is the tick
+        restart path of tickless and paratick modes.
+        """
+        if expires_ns < 0:
+            raise GuestError(f"negative expiry {expires_ns}")
+        seq = self._seq
+        self._seq = seq + 1
+        if timer._active:
+            self._dead += 1
+        else:
+            timer._active = True
+            self._live += 1
+        timer.expires_ns = expires_ns
+        timer._seq = seq
+        heapq.heappush(self._heap, (expires_ns, seq, timer))
+        if self._dead > _COMPACT_MIN_DEAD and self._dead * 2 > len(self._heap):
+            self._compact()
+        return timer
 
     def cancel(self, timer: Optional[Hrtimer]) -> bool:
         """Deactivate a timer; returns True if it was still pending."""
@@ -70,26 +109,45 @@ class HrtimerQueue:
             return False
         timer._active = False
         self._live -= 1
+        self._dead += 1
+        if self._dead > _COMPACT_MIN_DEAD and self._dead * 2 > len(self._heap):
+            self._compact()
         return True
 
     def _drop_dead(self) -> None:
         heap = self._heap
-        while heap and not heap[0]._active:
+        while heap:
+            _, seq, t = heap[0]
+            if t._active and t._seq == seq:
+                return
             heapq.heappop(heap)
+            self._dead -= 1
+
+    def _compact(self) -> None:
+        """Rebuild the heap in place, dropping every dead entry."""
+        heap = self._heap
+        heap[:] = [e for e in heap if e[2]._active and e[2]._seq == e[1]]
+        heapq.heapify(heap)
+        self._dead = 0
 
     def next_expiry(self) -> Optional[int]:
         """Earliest pending expiry, or None when the queue is empty."""
         self._drop_dead()
-        return self._heap[0].expires_ns if self._heap else None
+        return self._heap[0][0] if self._heap else None
 
     def pop_expired(self, now_ns: int) -> list[Hrtimer]:
         """Remove and return every timer with ``expires <= now``, in order."""
         out: list[Hrtimer] = []
-        while True:
-            self._drop_dead()
-            if not self._heap or self._heap[0].expires_ns > now_ns:
+        heap = self._heap
+        while heap:
+            expires, seq, t = heap[0]
+            if not (t._active and t._seq == seq):
+                heapq.heappop(heap)
+                self._dead -= 1
+                continue
+            if expires > now_ns:
                 break
-            t = heapq.heappop(self._heap)
+            heapq.heappop(heap)
             t._active = False
             self._live -= 1
             out.append(t)
@@ -97,4 +155,4 @@ class HrtimerQueue:
 
     def pending_names(self) -> list[str]:
         """Names of live timers (for tests/traces)."""
-        return sorted(t.name for t in self._heap if t._active)
+        return sorted(t.name for _, seq, t in self._heap if t._active and t._seq == seq)

@@ -114,9 +114,15 @@ class NohzPolicy(TickPolicy):
         ctx = self.k.ctx(vidx)
         period = self.k.period_ns
         expires = (self.k.now() // period + 1) * period
-        ctx.tick_hrtimer = ctx.hrtimers.add(
-            expires, lambda: self._tick_fired(vidx), name="tick_sched_timer"
-        )
+        timer = ctx.tick_hrtimer
+        if timer is None:
+            # First arm only; every restart re-uses this one handle
+            # (Linux's hrtimer_restart on tick_sched_timer).
+            ctx.tick_hrtimer = ctx.hrtimers.add(
+                expires, lambda: self._tick_fired(vidx), name="tick_sched_timer"
+            )
+        else:
+            ctx.hrtimers.rearm(timer, expires)
 
     def _tick_fired(self, vidx: int) -> None:
         """hrtimer callback: do tick work, restart the timer (Fig. 1a)."""
@@ -150,8 +156,9 @@ class NohzPolicy(TickPolicy):
             if self._must_keep_tick(vidx):
                 k.trace_mark(vidx, "tick_kept")
                 return  # tick stays armed; no hardware touched
+            # Cancel but keep the handle: the restart on idle exit
+            # re-arms it instead of allocating a fresh timer.
             ctx.hrtimers.cancel(ctx.tick_hrtimer)
-            ctx.tick_hrtimer = None
             ctx.tick_stopped = True
             k.trace_mark(vidx, "tick_stop")
             k.reprogram_hw(vidx)  # defer to next event, or disarm entirely

@@ -84,7 +84,7 @@ class LapicTimer:
         self._disarm_event()
         self.mode = TimerMode.ONESHOT
         self.arm_count += 1
-        self._event = self._sim.schedule(delay_ns, self._fire)
+        self._arm_at(self._sim.now + delay_ns)
         self._trace_arm(self._sim.now + delay_ns)
 
     def arm_periodic_ns(self, period_ns: int, *, first_after_ns: Optional[int] = None) -> None:
@@ -96,7 +96,7 @@ class LapicTimer:
         self._period_ns = period_ns
         self.arm_count += 1
         first = period_ns if first_after_ns is None else first_after_ns
-        self._event = self._sim.schedule(first, self._fire)
+        self._arm_at(self._sim.now + first)
         self._trace_arm(self._sim.now + first)
 
     def arm_tsc_deadline(self, tsc_deadline: int) -> None:
@@ -112,7 +112,7 @@ class LapicTimer:
         self.mode = TimerMode.TSC_DEADLINE
         self.arm_count += 1
         when = self._tsc.deadline_to_ns(tsc_deadline)
-        self._event = self._sim.at(when, self._fire)
+        self._arm_at(when)
         self._trace_arm(when)
 
     def disarm(self) -> None:
@@ -120,10 +120,19 @@ class LapicTimer:
         self._disarm_event()
         self.mode = None
 
+    def _arm_at(self, when: int) -> None:
+        # The one Event handle lives as long as the timer: after the
+        # first arm, every reprogram/expiry cycle goes through the
+        # allocation-free re-arm path.
+        if self._event is None:
+            self._event = self._sim.at(when, self._fire)
+        else:
+            self._sim.rearm(self._event, when)
+
     def _disarm_event(self) -> None:
-        if self._event is not None:
-            self._sim.cancel(self._event)
-            self._event = None
+        ev = self._event
+        if ev is not None and ev.pending:
+            self._sim.cancel(ev)
             if self._sim.trace.enabled:
                 self._sim.trace.emit(self._sim.now, self.name, "lapic_disarm")
 
@@ -145,8 +154,7 @@ class LapicTimer:
             # Re-arm before delivery so the handler observes a live timer
             # (periodic mode needs no reprogramming — that is exactly why
             # classic ticks cost only the delivery, not an extra write).
-            self._event = self._sim.schedule(self._period_ns, self._fire)
+            self._sim.rearm(self._event, self._sim.now + self._period_ns)
         else:
-            self._event = None
             self.mode = None
         self._deliver(self.vector)

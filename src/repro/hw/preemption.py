@@ -60,15 +60,20 @@ class PreemptionTimer:
         if self.deadline_ns is None:
             return
         when = max(self.deadline_ns, self._sim.now)
-        self._event = self._sim.at(when, self._fire)
+        # Entry/exit churn is the hottest timer path in overcommit runs:
+        # one Event handle per timer, re-armed on every VM entry.
+        if self._event is None:
+            self._event = self._sim.at(when, self._fire)
+        else:
+            self._sim.rearm(self._event, when)
         if self._sim.trace.enabled:
             self._sim.trace.emit(self._sim.now, self.name, "ptimer_start", when)
 
     def stop(self) -> None:
         """VM exit: pause the countdown (deadline is retained)."""
-        if self._event is not None:
-            self._sim.cancel(self._event)
-            self._event = None
+        ev = self._event
+        if ev is not None and ev.pending:
+            self._sim.cancel(ev)
             if self._sim.trace.enabled:
                 self._sim.trace.emit(self._sim.now, self.name, "ptimer_stop")
 
@@ -78,7 +83,6 @@ class PreemptionTimer:
         self.deadline_ns = None
 
     def _fire(self) -> None:
-        self._event = None
         self.deadline_ns = None
         self.fire_count += 1
         if self._sim.trace.enabled:

@@ -1,0 +1,268 @@
+"""Property tests for the event queue and the free-list reuse engine.
+
+Seeded stdlib-``random`` interleavings of schedule/cancel/rearm/pop,
+asserting the invariants the fast-path rewrite must preserve:
+
+* pops come out in monotonically non-decreasing time order;
+* events at the same timestamp fire in scheduling (FIFO) order;
+* ``len`` stays consistent through mass cancellation;
+* a cancelled event is never dispatched;
+* re-used Event objects (the free list) never resurrect a cancelled or
+  stale handle — including the same-instant dispatch-batch edge.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.events import _FREE_CAP, Event, EventQueue
+
+
+def _drain(q: EventQueue) -> list[Event]:
+    out = []
+    while True:
+        ev = q.pop()
+        if ev is None:
+            return out
+        out.append(ev)
+
+
+class TestRandomInterleavings:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_pop_order_monotonic_under_churn(self, seed):
+        rng = random.Random(seed)
+        q = EventQueue()
+        live = []
+        for _ in range(500):
+            op = rng.random()
+            if op < 0.55 or not live:
+                t = rng.randrange(0, 10_000)
+                live.append(q.push(t, lambda: None))
+            elif op < 0.80:
+                ev = live.pop(rng.randrange(len(live)))
+                ev.cancel()
+                q.notify_cancelled()
+            else:
+                ev = live.pop(rng.randrange(len(live)))
+                q.rearm(ev, rng.randrange(0, 10_000))
+                live.append(ev)
+        popped = _drain(q)
+        times = [ev.time for ev in popped]
+        assert times == sorted(times)
+        assert len(q) == 0
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_fifo_among_same_timestamp(self, seed):
+        rng = random.Random(seed)
+        q = EventQueue()
+        expected: list[Event] = []
+        for _ in range(300):
+            t = rng.randrange(0, 5)  # few distinct times → many ties
+            expected.append(q.push(t, lambda: None))
+        expected.sort(key=lambda ev: (ev.time, ev.seq))
+        assert _drain(q) == expected  # object identity, not just times
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_len_consistent_after_mass_cancellation(self, seed):
+        rng = random.Random(seed)
+        q = EventQueue()
+        handles = [q.push(rng.randrange(0, 1000), lambda: None) for _ in range(400)]
+        doomed = rng.sample(handles, 250)
+        for ev in doomed:
+            ev.cancel()
+            q.notify_cancelled()
+        assert len(q) == 150
+        survivors = _drain(q)
+        assert len(survivors) == 150
+        assert set(map(id, survivors)) == set(map(id, handles)) - set(map(id, doomed))
+        assert len(q) == 0
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_cancelled_event_never_dispatched(self, seed):
+        rng = random.Random(seed)
+        sim = Simulator()
+        fired: list[int] = []
+        cancelled: set[int] = set()
+        handles: dict[int, object] = {}
+
+        def make_cb(i):
+            return lambda: fired.append(i)
+
+        for i in range(300):
+            handles[i] = sim.schedule(rng.randrange(0, 2000), make_cb(i))
+        for i in rng.sample(sorted(handles), 120):
+            sim.cancel(handles[i])
+            cancelled.add(i)
+        # Interleave fresh pushes so free-list reuse happens mid-run.
+        def late_pushes():
+            for j in range(300, 350):
+                handles[j] = sim.schedule(rng.randrange(0, 1500), make_cb(j))
+        sim.schedule(0, late_pushes)
+        sim.run()
+        assert not (set(fired) & cancelled)
+        assert set(fired) == (set(handles) - cancelled)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_rearm_fires_exactly_once_at_new_time(self, seed):
+        rng = random.Random(seed)
+        sim = Simulator()
+        fired = []
+        ev = sim.schedule(rng.randrange(1, 50), lambda: fired.append(sim.now))
+        new_t = rng.randrange(100, 200)
+        sim.rearm(ev, new_t)
+        sim.run()
+        assert fired == [new_t]
+
+
+class TestQueueAccounting:
+    def test_dead_counter_drains_to_zero(self):
+        q = EventQueue()
+        handles = [q.push(i, lambda: None) for i in range(100)]
+        for ev in handles[::2]:
+            ev.cancel()
+            q.notify_cancelled()
+        for ev in handles[1::4]:
+            q.rearm(ev, ev.time + 1000)
+        _drain(q)
+        assert q._dead == 0
+        assert len(q._heap) == 0
+
+    def test_compaction_triggers_under_cancel_storm(self):
+        q = EventQueue()
+        handles = [q.push(i, lambda: None) for i in range(400)]
+        for ev in handles[:-1]:
+            ev.cancel()
+            q.notify_cancelled()
+        # Amortized compaction must have fired: the heap cannot still
+        # hold all 399 dead entries.
+        assert len(q._heap) < 400
+        assert len(q) == 1
+
+    def test_cancel_more_than_live_raises(self):
+        q = EventQueue()
+        q.push(1, lambda: None)
+        q.notify_cancelled()
+        with pytest.raises(SimulationError):
+            q.notify_cancelled()
+
+
+class TestFreeListSafety:
+    """Satellite regression: free-list reuse must never resurrect a
+    handle — most subtly when a cancel lands inside the same-instant
+    dispatch batch."""
+
+    def test_cancel_during_same_instant_batch_never_refires(self):
+        sim = Simulator()
+        fired = []
+        handles = {}
+
+        def a():
+            fired.append("a")
+            # Cancel b (same timestamp, later in this dispatch batch),
+            # then push new same-instant events: with naive eager
+            # recycling, one of these pushes could reuse b's object
+            # while b's heap entry is still queued → ghost refire.
+            sim.cancel(handles["b"])
+            for i in range(5):
+                handles[f"c{i}"] = sim.schedule(0, lambda i=i: fired.append(f"c{i}"))
+
+        handles["a"] = sim.schedule(10, a)
+        handles["b"] = sim.schedule(10, lambda: fired.append("b"))
+        sim.run()
+        assert fired == ["a", "c0", "c1", "c2", "c3", "c4"]
+
+    def test_cancelled_unreferenced_event_is_not_resurrected(self):
+        sim = Simulator()
+        fired = []
+
+        def starter():
+            # Cancel a handle and drop every reference to it, then
+            # saturate the same instant with new events so the free
+            # list is certainly exercised.
+            ev = sim.schedule(0, lambda: fired.append("ghost"))
+            sim.cancel(ev)
+            del ev
+            for i in range(10):
+                sim.schedule(0, lambda i=i: fired.append(i))
+
+        sim.schedule(5, starter)
+        sim.run()
+        assert fired == list(range(10))
+
+    def test_held_handle_is_never_recycled(self):
+        sim = Simulator()
+        held = sim.schedule(1, lambda: None)
+        churn = []
+        def spin(n):
+            if n:
+                churn.append(sim.schedule(2, lambda: None))
+                sim.schedule(3, spin, n - 1)
+        sim.schedule(2, spin, 2 * _FREE_CAP)
+        sim.run()
+        # The held handle survived heavy free-list churn untouched:
+        # still the same fired event, and cancel stays a safe no-op.
+        assert held.fired and not held.pending
+        sim.cancel(held)
+        assert held.fired and not held.cancelled  # untouched: full no-op
+        assert sim.pending_events() == 0
+
+    def test_cancel_after_fire_is_noop_even_with_reuse(self):
+        sim = Simulator()
+        fired = []
+        first = sim.schedule(1, lambda: fired.append("first"))
+        sim.run()
+        # first has fired; cancelling its stale handle now must not
+        # affect whatever event the engine schedules next, even though
+        # the engine may be reusing object memory internally.
+        sim.cancel(first)
+        second = sim.schedule(1, lambda: fired.append("second"))
+        assert second.pending
+        sim.run()
+        assert fired == ["first", "second"]
+
+    def test_rearm_of_pending_event_orphans_old_entry(self):
+        sim = Simulator()
+        fired = []
+        ev = sim.schedule(10, lambda: fired.append(sim.now))
+        sim.rearm(ev, 50)
+        sim.rearm(ev, 30)  # re-arm again before anything fires
+        sim.run()
+        assert fired == [30]
+
+    def test_rearm_interleaves_fifo_with_fresh_events(self):
+        # A re-arm consumes exactly one sequence number, like the
+        # cancel+schedule pair it replaces — same-instant ordering with
+        # fresh events must reflect that.
+        sim = Simulator()
+        order = []
+        ev = sim.schedule(5, lambda: order.append("rearmed"))
+        sim.rearm(ev, 20)                       # seq bumped here...
+        sim.schedule(20, lambda: order.append("fresh"))  # ...so this is later
+        sim.run()
+        assert order == ["rearmed", "fresh"]
+
+    def test_rearm_dead_handle_revives_it(self):
+        sim = Simulator()
+        fired = []
+        ev = sim.schedule(1, lambda: fired.append("x"))
+        sim.cancel(ev)
+        sim.rearm(ev, 7)
+        sim.run()
+        assert fired == ["x"]
+        assert ev.fired and not ev.pending
+
+    def test_rearm_past_raises(self):
+        sim = Simulator()
+        ev = sim.schedule(100, lambda: None)
+        sim.schedule(50, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.rearm(ev, sim.now - 1)
+
+    def test_rearm_none_raises(self):
+        with pytest.raises(SimulationError):
+            Simulator().rearm(None, 10)

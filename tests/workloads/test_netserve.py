@@ -1,0 +1,77 @@
+"""Tests for the network-service (RPC) workload, run end-to-end through
+``run_workload`` under all three tick modes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import TickMode
+from repro.errors import WorkloadError
+from repro.experiments.runner import run_workload
+from repro.host.exitreasons import ExitReason
+from repro.hw.nic import DATACENTER_10G, DATACENTER_100G
+from repro.workloads.netserve import NetServiceWorkload
+
+MODES = list(TickMode)
+
+
+class TestConstruction:
+    def test_defaults(self):
+        wl = NetServiceWorkload()
+        assert wl.default_vcpus() == 1
+        assert wl.name == "netserve.w1"
+        assert wl.nic_profile is DATACENTER_10G
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(WorkloadError):
+            NetServiceWorkload(workers=0)
+        with pytest.raises(WorkloadError):
+            NetServiceWorkload(requests=0)
+        with pytest.raises(WorkloadError):
+            NetServiceWorkload(think_cycles=-1)
+
+    def test_worker_count_sets_vcpus(self):
+        assert NetServiceWorkload(workers=3).default_vcpus() == 3
+
+
+class TestExecution:
+    @pytest.mark.parametrize("mode", MODES, ids=[m.value for m in MODES])
+    def test_completes_under_every_tick_mode(self, mode):
+        wl = NetServiceWorkload(workers=2, requests=40, think_cycles=20_000)
+        m = run_workload(wl, tick_mode=mode, seed=7, noise=False)
+        # Every RPC blocks on the NIC: one kick exit per request.
+        assert m.exits.by_reason(ExitReason.IO_INSTRUCTION) == 80
+        assert m.exec_time_ns > 0
+        assert m.useful_cycles > 0
+
+    @pytest.mark.parametrize("mode", MODES, ids=[m.value for m in MODES])
+    def test_deterministic_per_mode(self, mode):
+        def run():
+            return run_workload(
+                NetServiceWorkload(workers=2, requests=30, think_cycles=15_000),
+                tick_mode=mode, seed=11,
+            ).to_json_dict()
+
+        assert run() == run()
+
+    def test_faster_link_finishes_sooner(self):
+        def exec_time(profile):
+            return run_workload(
+                NetServiceWorkload(workers=1, requests=60, think_cycles=10_000,
+                                   profile=profile),
+                tick_mode=TickMode.TICKLESS, seed=3, noise=False,
+            ).exec_time_ns
+
+        assert exec_time(DATACENTER_100G) < exec_time(DATACENTER_10G)
+
+    def test_paratick_reduces_timer_exits_vs_tickless(self):
+        """The paper's headline effect on the microsecond-idle RPC
+        pattern: round-trip waits are brief idle periods, so paratick
+        strips the timer-management exits tickless pays for them."""
+        def timer_exits(mode):
+            return run_workload(
+                NetServiceWorkload(workers=2, requests=80, think_cycles=20_000),
+                tick_mode=mode, seed=5,
+            ).timer_exits
+
+        assert timer_exits(TickMode.PARATICK) < timer_exits(TickMode.TICKLESS)
