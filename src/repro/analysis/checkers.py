@@ -84,6 +84,14 @@ _VCPU_TRANSITIONS = frozenset(
         ("halted", "exited"),  # wake
         ("exited", "ready"),   # CPU busy: queued (overcommit)
         ("ready", "exited"),   # dispatched
+        # VM-wide suspend freezes a vCPU from any live state and thaws
+        # it back to runnable (exited) or blocked (halted).
+        ("guest", "suspended"),
+        ("exited", "suspended"),
+        ("halted", "suspended"),
+        ("ready", "suspended"),
+        ("suspended", "exited"),
+        ("suspended", "halted"),
     }
 )
 
@@ -98,6 +106,12 @@ class VcpuStateChecker(Checker):
         self._state: dict[str, str] = {}
 
     def on_event(self, record: TraceRecord) -> None:
+        if record.kind == "vcpu_hotplug" and ev.validate_record(record) is None:
+            # A hotplug (or re-plug of a previously unplugged index)
+            # installs a fresh vCPU object: forget any tracked state so
+            # its init -> exited boot is not read as "after shutdown".
+            self._state.pop(f"{record.source}/vcpu{record.detail}", None)
+            return
         if record.kind != "vcpu_state" or ev.validate_record(record) is not None:
             return
         self.seen += 1
@@ -327,6 +341,168 @@ class InjectChecker(Checker):
                 self.report(record, f"vector 235 injected into a {self.mode.value} guest")
 
 
+#: Kinds that represent a timer firing or CPU activity attributable to a
+#: vCPU — none may occur for a frozen VM's vCPUs (docs/scenarios.md).
+_SUSPEND_FORBIDDEN = frozenset(
+    {
+        "lapic_fire",
+        "ptimer_fire",
+        "hostdl_fire",
+        "deadline_fire",
+        "inject",
+        "vmexit",
+        "sched_dispatch",
+    }
+)
+
+
+def _vm_of(source: str) -> str:
+    """Owning VM name of any per-vCPU source (``vm0/vcpu1/vlapic`` -> ``vm0``)."""
+    head, _, _ = source.partition("/")
+    return head
+
+
+class SuspendSpanChecker(Checker):
+    """No tick fires — no timer expiry, exit or dispatch at all — inside
+    a suspended span.
+
+    ``vm_suspend``/``vm_resume`` bracket a span during which every vCPU
+    of that VM is frozen; host-side exit work already in flight may
+    still retire (emitting e.g. ``deadline_set``), but nothing may fire,
+    exit or be injected on a frozen vCPU. Also enforces suspend/resume
+    pairing per VM. A span left open at end of run is legal (the run
+    horizon can land mid-span).
+    """
+
+    name = "suspend-span"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._suspended: dict[str, int] = {}  # vm name -> suspend time
+
+    def on_event(self, record: TraceRecord) -> None:
+        kind = record.kind
+        if kind == "vm_suspend":
+            self.seen += 1
+            if record.source in self._suspended:
+                self.report(record, "suspended while already suspended")
+            self._suspended[record.source] = record.time
+            return
+        if kind in ("vm_resume", "vm_restore"):
+            self.seen += 1
+            if kind == "vm_resume" and record.source not in self._suspended:
+                self.report(record, "resumed but was not suspended")
+            if kind == "vm_resume":
+                self._suspended.pop(record.source, None)
+            return
+        if kind not in _SUSPEND_FORBIDDEN or not self._suspended:
+            return
+        self.seen += 1
+        vm = _vm_of(record.source)
+        since = self._suspended.get(vm)
+        # The suspend edge itself may process in-flight same-instant
+        # events queued before the freeze; strictly-later activity is
+        # what a frozen VM can never produce.
+        if since is not None and record.time > since:
+            self.report(record, f"{kind} inside suspended span (since {since})")
+
+
+class RestoreMonotonicChecker(Checker):
+    """Post-restore deadlines re-arm monotonically.
+
+    After a ``vm_restore`` (resume with a guest clock jump), every
+    timer armed for that VM — guest TSC deadline, host stand-in, VMX
+    preemption timer, LAPIC — must carry an expiry at or after the
+    restore instant. A stale pre-restore deadline surviving the jump
+    would fire in the guest's past.
+    """
+
+    name = "restore-rearm"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._restored_at: dict[str, int] = {}  # vm name -> last restore time
+
+    def on_event(self, record: TraceRecord) -> None:
+        kind = record.kind
+        if kind == "vm_restore":
+            self.seen += 1
+            self._restored_at[record.source] = record.time
+            return
+        if kind not in ("deadline_set", "hostdl_arm", "ptimer_start", "lapic_arm"):
+            return
+        if ev.validate_record(record) is not None:
+            return
+        since = self._restored_at.get(_vm_of(record.source))
+        if since is None:
+            return
+        self.seen += 1
+        expiry = record.detail[1] if kind == "lapic_arm" else record.detail
+        if expiry < since:
+            self.report(
+                record,
+                f"{kind} expiry {expiry} predates restore at {since} (stale deadline)",
+            )
+
+
+class HotplugChecker(Checker):
+    """Hotplugged vCPUs enter the run-state machine cleanly.
+
+    ``vcpu_hotplug`` must name an index that is not already online, and
+    the new vCPU's first run-state transition must be the boot step
+    ``init -> exited``. ``vcpu_unplug`` must name an online,
+    previously-hotplugged vCPU; after it, that vCPU may only step to
+    ``off``.
+    """
+
+    name = "hotplug"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._online: set[str] = set()        # vcpu sources seen alive
+        self._awaiting_boot: set[str] = set() # hotplugged, no state event yet
+        self._unplugged: set[str] = set()
+
+    def on_event(self, record: TraceRecord) -> None:
+        kind = record.kind
+        if kind in ("vcpu_hotplug", "vcpu_unplug"):
+            if ev.validate_record(record) is not None:
+                return
+            self.seen += 1
+            src = f"{record.source}/vcpu{record.detail}"
+            if kind == "vcpu_hotplug":
+                if src in self._online:
+                    self.report(record, f"hotplug of already-online vcpu{record.detail}")
+                self._online.add(src)
+                self._awaiting_boot.add(src)
+                self._unplugged.discard(src)
+            else:
+                if src not in self._online:
+                    self.report(record, f"unplug of absent vcpu{record.detail}")
+                self._online.discard(src)
+                self._awaiting_boot.discard(src)
+                self._unplugged.add(src)
+            return
+        if kind != "vcpu_state" or ev.validate_record(record) is not None:
+            return
+        src = record.source
+        old, new = record.detail
+        if src in self._awaiting_boot:
+            self.seen += 1
+            self._awaiting_boot.discard(src)
+            if (old, new) != ("init", "exited"):
+                self.report(
+                    record,
+                    f"hotplugged vCPU entered as {old!r} -> {new!r}, expected init -> exited",
+                )
+        elif src in self._unplugged:
+            self.seen += 1
+            if new != "off":
+                self.report(record, f"state change {old!r} -> {new!r} after unplug")
+        else:
+            self._online.add(src)
+
+
 def default_checkers(mode: Optional[TickMode] = None) -> list[Checker]:
     """The full battery; ``mode`` enables mode-specific invariants."""
     return [
@@ -337,6 +513,9 @@ def default_checkers(mode: Optional[TickMode] = None) -> list[Checker]:
         GuestDeadlineChecker(),
         TickSchedChecker(mode),
         InjectChecker(mode),
+        SuspendSpanChecker(),
+        RestoreMonotonicChecker(),
+        HotplugChecker(),
     ]
 
 

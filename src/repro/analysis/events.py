@@ -54,13 +54,21 @@ EVENT_SCHEMA: dict[str, str] = {
     "tick_restart": "None — NohzPolicy restarted the tick (Fig. 1c)",
     "tick_kept": "None — idle entry kept the tick (RCU/softirq held it)",
     "timer_program_req": "abs ns or None — kernel decided to (dis)arm deadline hw",
+    # Perturbation events (repro.host.perturb via repro.host.kvm);
+    # sources are the bare VM name (``vm0``), not a vCPU.
+    "vm_suspend": "None — VM paused; every vCPU frozen until vm_resume",
+    "vm_resume": "suspended_span_ns — VM thawed after a plain suspend/resume",
+    "vm_restore": "clock_jump_ns — resume came from save/restore; guest clock jumped",
+    "vcpu_hotplug": "vcpu_index — a new vCPU came online while the VM runs",
+    "vcpu_unplug": "vcpu_index — a hotplugged vCPU was torn down",
+    "clock_drift": "offset_ns (signed) — new total guest clock offset vs host",
 }
 
 #: Timer modes a ``lapic_arm``/``lapic_fire`` detail may carry.
 LAPIC_MODES = frozenset({"oneshot", "periodic", "tsc-deadline"})
 
 #: Valid vCPU run states (mirrors repro.host.vcpu.VcpuState values).
-VCPU_STATES = frozenset({"init", "guest", "exited", "halted", "ready", "off"})
+VCPU_STATES = frozenset({"init", "guest", "exited", "halted", "ready", "suspended", "off"})
 
 
 def _is_ns(v: Any) -> bool:
@@ -133,6 +141,18 @@ def _validate_sched_dispatch(d: Any) -> Optional[str]:
     return None
 
 
+def _validate_index(d: Any) -> Optional[str]:
+    if not isinstance(d, int) or isinstance(d, bool) or d < 0:
+        return f"expected non-negative index, got {d!r}"
+    return None
+
+
+def _validate_signed_ns(d: Any) -> Optional[str]:
+    if not isinstance(d, int) or isinstance(d, bool):
+        return f"expected signed ns int, got {d!r}"
+    return None
+
+
 def _validate_msr_write(d: Any) -> Optional[str]:
     p = _pair(d)
     if p is None or not all(isinstance(x, int) and x >= 0 for x in p):
@@ -165,6 +185,12 @@ _VALIDATORS: dict[str, Callable[[Any], Optional[str]]] = {
     "tick_restart": _validate_none,
     "tick_kept": _validate_none,
     "timer_program_req": _validate_opt_ns,
+    "vm_suspend": _validate_none,
+    "vm_resume": _validate_abs_ns,
+    "vm_restore": _validate_abs_ns,
+    "vcpu_hotplug": _validate_index,
+    "vcpu_unplug": _validate_index,
+    "clock_drift": _validate_signed_ns,
 }
 
 

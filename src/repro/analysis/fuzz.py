@@ -32,6 +32,7 @@ from repro.analysis.reconcile import reconcile_run
 from repro.config import MachineSpec, TickMode
 from repro.errors import ReproError
 from repro.experiments.runner import run_workload
+from repro.host.perturb import Perturbation
 from repro.metrics.perf import RunMetrics
 from repro.sim.rng import RngStreams
 from repro.sim.timebase import MSEC, USEC
@@ -137,6 +138,45 @@ def scenario_for_seed(seed: int) -> FuzzScenario:
     )
 
 
+def perturbations_for_seed(seed: int, horizon_ns: int) -> tuple[Perturbation, ...]:
+    """Expand a seed into a perturbation schedule (pure function).
+
+    Drawn from the dedicated ``fuzz.perturb`` RNG stream, so turning
+    perturbations on never changes which *scenario* a seed maps to —
+    the schedule rides on top of the frozen scenario expansion.
+    Times are absolute and front-loaded (0.2–5 ms) so even short runs
+    meet at least the first disturbance; schedules are identical across
+    tick modes and placements, keeping the differential property sound.
+    """
+    rng = RngStreams(seed).stream("fuzz.perturb")
+
+    def pick(lo: int, hi: int) -> int:
+        return int(rng.integers(lo, hi + 1))
+
+    out: list[Perturbation] = []
+    for _ in range(pick(1, 3)):
+        kind = ("suspend", "restore", "hotplug", "drift")[pick(0, 3)]
+        at_ns = pick(200, 5000) * USEC
+        if kind in ("suspend", "restore"):
+            out.append(Perturbation(kind, at_ns=at_ns, duration_ns=pick(100, 2000) * USEC))
+        elif kind == "hotplug":
+            out.append(Perturbation("hotplug", at_ns=at_ns, duration_ns=pick(0, 3000) * USEC))
+        else:
+            steps = pick(1, 4)
+            sign = 1 if pick(0, 1) else -1
+            out.append(Perturbation(
+                "drift", at_ns=at_ns, count=steps,
+                period_ns=pick(500, 2000) * USEC if steps > 1 else 0,
+                step_ns=sign * pick(1, 500) * USEC,
+            ))
+    # Clamp every occurrence inside the scenario horizon: events past
+    # the stop instant would never fire and add nothing.
+    return tuple(
+        p for p in out
+        if p.at_ns + p.duration_ns + (p.count - 1) * p.period_ns < horizon_ns
+    )
+
+
 def placement_for(nvcpus: int, placement: str) -> tuple[MachineSpec, tuple[int, ...]]:
     """Machine + pinning for a placement. Overcommit squeezes the vCPUs
     onto one fewer physical CPU, exercising the READY/preempt paths."""
@@ -153,6 +193,7 @@ def run_scenario(
     mode: TickMode,
     *,
     placement: str = SOLO,
+    perturbations: tuple[Perturbation, ...] = (),
 ) -> tuple[Optional[RunMetrics], TickSanitizer, list[str]]:
     """One sanitized run; returns (metrics, sanitizer, problems).
 
@@ -188,6 +229,7 @@ def run_scenario(
             noise=scenario.noise,
             cpuidle=scenario.cpuidle,
             horizon_ns=scenario.horizon_ns,
+            perturbations=perturbations,
             tracer=TeeTracer(sanitizer, steal),
             inspect=inspect,
             label=f"fuzz{scenario.seed}/{scenario.kind}/{mode.value}/{placement}",
@@ -241,16 +283,33 @@ class FuzzReport:
         return not self.problems
 
 
-def fuzz_seed(seed: int, *, placements: tuple[str, ...] = (SOLO, OVERCOMMIT)) -> FuzzReport:
-    """Run one seed's scenario under every (mode, placement) cell."""
+def fuzz_seed(
+    seed: int,
+    *,
+    placements: tuple[str, ...] = (SOLO, OVERCOMMIT),
+    perturb: bool = False,
+) -> FuzzReport:
+    """Run one seed's scenario under every (mode, placement) cell.
+
+    With ``perturb=True`` the seed additionally expands (via
+    :func:`perturbations_for_seed`) into a perturbation schedule applied
+    identically to every cell — the sanitizer's suspend/restore/hotplug
+    checkers then run against real disturbances, and the differential
+    property must hold *through* them.
+    """
     scenario = scenario_for_seed(seed)
+    perturbations = (
+        perturbations_for_seed(seed, scenario.horizon_ns) if perturb else ()
+    )
     problems: list[str] = []
     runs = 0
     events = 0
     for placement in placements:
         per_mode: dict[TickMode, RunMetrics] = {}
         for mode in TickMode:
-            metrics, sanitizer, probs = run_scenario(scenario, mode, placement=placement)
+            metrics, sanitizer, probs = run_scenario(
+                scenario, mode, placement=placement, perturbations=perturbations
+            )
             runs += 1
             events += sanitizer.events
             problems += [f"[{mode.value}/{placement}] {p}" for p in probs]
@@ -262,12 +321,16 @@ def fuzz_seed(seed: int, *, placements: tuple[str, ...] = (SOLO, OVERCOMMIT)) ->
 
 
 def fuzz_many(
-    seeds, *, placements: tuple[str, ...] = (SOLO, OVERCOMMIT), progress=None
+    seeds,
+    *,
+    placements: tuple[str, ...] = (SOLO, OVERCOMMIT),
+    perturb: bool = False,
+    progress=None,
 ) -> list[FuzzReport]:
     """Fuzz a seed range; ``progress(report)`` is called per seed."""
     reports = []
     for seed in seeds:
-        report = fuzz_seed(int(seed), placements=placements)
+        report = fuzz_seed(int(seed), placements=placements, perturb=perturb)
         reports.append(report)
         if progress is not None:
             progress(report)

@@ -34,12 +34,16 @@ from typing import Any, Callable, Iterator, Optional
 from repro.analysis.fuzz import SOLO, OVERCOMMIT, placement_for, scenario_for_seed
 from repro.config import MachineSpec, TickMode
 from repro.experiments.runner import run_workload
+from repro.host.perturb import Perturbation
 from repro.metrics.perf import RunMetrics
-from repro.sim.timebase import USEC
+from repro.sim.timebase import MSEC, USEC
 from repro.sim.trace import Tracer
 
 #: Fixture location relative to the repo root.
 DEFAULT_FIXTURE = Path("tests/fixtures/golden_simcore.json")
+
+#: Perturbation-conformance fixture (every kind x every tick mode).
+PERTURB_FIXTURE = Path("tests/fixtures/golden_perturb.json")
 
 #: Seeds covered by the fuzz-equivalence section.
 FUZZ_SEEDS = tuple(range(20))
@@ -170,6 +174,96 @@ def run_battery(progress: Optional[Callable[[str], None]] = None) -> dict:
     return {"schema": SCHEMA, "workloads": workloads, "fuzz": fuzz}
 
 
+# ------------------------------------------------- perturbation battery
+
+
+def perturb_cases() -> Iterator[tuple[str, tuple[Perturbation, ...]]]:
+    """(case name, schedule) pairs — one per perturbation kind.
+
+    Each schedule is applied to the same idle-period workload (long
+    enough, at ~16 ms, to straddle every event) under all three tick
+    modes, pinning 12 golden traces total. The schedules hit the
+    interesting edges: a suspend span across halt/run boundaries, a
+    save/restore with a guest-visible clock jump, a hotplug + LIFO
+    unplug window, and a multi-step clock-offset drift.
+    """
+    yield "suspend", (Perturbation("suspend", at_ns=4 * MSEC, duration_ns=3 * MSEC),)
+    yield "restore", (Perturbation("restore", at_ns=4 * MSEC, duration_ns=3 * MSEC),)
+    yield "hotplug", (Perturbation("hotplug", at_ns=2 * MSEC, duration_ns=6 * MSEC),)
+    yield "drift", (
+        Perturbation("drift", at_ns=2 * MSEC, count=3, period_ns=4 * MSEC,
+                     step_ns=250 * USEC),
+    )
+
+
+def _perturb_workload():
+    from repro.workloads.micro import IdlePeriodWorkload
+
+    return IdlePeriodWorkload(500 * USEC, iterations=30, work_cycles=100_000)
+
+
+def run_perturb_case(name: str, schedule: tuple, mode: TickMode) -> dict:
+    """One traced perturbed run → fixture entry (metrics + stream hash)."""
+    tracer = HashTracer()
+    metrics = run_workload(
+        _perturb_workload(), tick_mode=mode, seed=5, cpuidle=True,
+        perturbations=schedule, tracer=tracer,
+        label=f"golden-perturb/{name}/{mode.value}",
+    )
+    return {
+        "metrics": metrics.to_json_dict(),
+        "trace_sha256": tracer.hexdigest(),
+        "trace_records": tracer.records,
+    }
+
+
+def run_perturb_battery(progress: Optional[Callable[[str], None]] = None) -> dict:
+    """Every perturbation kind under every tick mode (12 cases)."""
+    cases: dict[str, dict] = {}
+    for name, schedule in perturb_cases():
+        for mode in TickMode:
+            key = f"{name}/{mode.value}"
+            cases[key] = run_perturb_case(name, schedule, mode)
+            if progress is not None:
+                progress(key)
+    return {"schema": SCHEMA, "cases": cases}
+
+
+def capture_perturb(path: Path = PERTURB_FIXTURE, progress=None) -> dict:
+    payload = run_perturb_battery(progress)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    return payload
+
+
+def compare_perturb(path: Path = PERTURB_FIXTURE, progress=None) -> list[str]:
+    """Replay the perturbation battery against its fixture."""
+    golden = load(path)
+    fresh = run_perturb_battery(progress)
+    problems: list[str] = []
+    for key, want in golden["cases"].items():
+        got = fresh["cases"].get(key)
+        if got is None:
+            problems.append(f"perturb case {key} missing from battery")
+            continue
+        if got["metrics"] != want["metrics"]:
+            diffs = [
+                f"{field}: {want['metrics'][field]!r} -> {got['metrics'][field]!r}"
+                for field in want["metrics"]
+                if got["metrics"].get(field) != want["metrics"][field]
+            ]
+            problems.append(f"perturb {key}: RunMetrics diverged ({'; '.join(diffs)})")
+        if got["trace_sha256"] != want["trace_sha256"]:
+            problems.append(
+                f"perturb {key}: event stream diverged "
+                f"({want['trace_records']} -> {got['trace_records']} records)"
+            )
+    for key in fresh["cases"]:
+        if key not in golden["cases"]:
+            problems.append(f"perturb case {key} not pinned in fixture")
+    return problems
+
+
 # ------------------------------------------------------------ read/compare
 
 
@@ -225,18 +319,23 @@ def main(argv: Optional[list[str]] = None) -> int:
     import argparse
 
     ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
-    ap.add_argument("--fixture", type=Path, default=DEFAULT_FIXTURE)
+    ap.add_argument("--fixture", type=Path, default=None)
     ap.add_argument("--write", action="store_true",
                     help="re-capture the fixture instead of checking it")
+    ap.add_argument("--perturb", action="store_true",
+                    help="operate on the perturbation battery "
+                         f"(default fixture: {PERTURB_FIXTURE})")
     args = ap.parse_args(argv)
+    fixture = args.fixture or (PERTURB_FIXTURE if args.perturb else DEFAULT_FIXTURE)
     if args.write:
-        capture(args.fixture, progress=print)
-        print(f"wrote {args.fixture}")
+        (capture_perturb if args.perturb else capture)(fixture, progress=print)
+        print(f"wrote {fixture}")
         return 0
-    problems = compare(args.fixture, progress=None)
+    problems = (compare_perturb if args.perturb else compare)(fixture, progress=None)
     for p in problems:
         print(f"DIVERGED: {p}")
-    print("golden battery:", "clean" if not problems else f"{len(problems)} divergences")
+    name = "perturb battery" if args.perturb else "golden battery"
+    print(f"{name}:", "clean" if not problems else f"{len(problems)} divergences")
     return 1 if problems else 0
 
 

@@ -266,15 +266,84 @@ def _cmd_fuzz(args) -> int:
         if not report.ok:
             failed.append(report.seed)
 
-    fuzz.fuzz_many(seeds, placements=placements, progress=progress)
+    fuzz.fuzz_many(seeds, placements=placements, perturb=args.perturb,
+                   progress=progress)
     if failed:
         print(f"\n{len(failed)}/{len(seeds)} seeds failed: {failed}")
-        print("replay one with: python -m repro fuzz --seed-list "
+        replay = "python -m repro fuzz " + ("--perturb " if args.perturb else "")
+        print("replay one with: " + replay + "--seed-list "
               + " ".join(str(s) for s in failed))
         return 1
+    suffix = " (perturbed)" if args.perturb else ""
     print(f"\nall {len(seeds)} seeds clean across "
-          f"{len(placements) * 3} mode/placement cells each")
+          f"{len(placements) * 3} mode/placement cells each{suffix}")
     return 0
+
+
+def _cmd_matrix(args) -> int:
+    """Expand / check / run a scenario-matrix file; exit 1 on problems."""
+    import sys
+
+    from repro.scenarios import check_cells, identity_problems, load_matrix, run_cells
+
+    mx = load_matrix(args.file)
+    cells = mx.expand()
+    if args.action == "expand":
+        for cell in cells:
+            print(cell.id)
+        print(f"{mx.name}: {len(cells)} cells", file=sys.stderr)
+        return 0
+
+    if args.max_cells and len(cells) > args.max_cells:
+        print(f"{mx.name}: limiting to first {args.max_cells} of {len(cells)} cells",
+              file=sys.stderr)
+        cells = cells[: args.max_cells]
+
+    if args.action == "check":
+        failed = 0
+
+        def progress(check) -> None:
+            nonlocal failed
+            mark = "ok " if check.ok else "FAIL"
+            print(f"[{mark}] {check.cell.id} ({check.events} events)")
+            for p in check.problems:
+                print(f"       {p}")
+            failed += 0 if check.ok else 1
+
+        check_cells(cells, progress=progress)
+        if failed:
+            print(f"\n{failed}/{len(cells)} cells failed the sanitizer")
+            return 1
+        print(f"\nall {len(cells)} cells sanitizer-clean")
+        return 0
+
+    # run
+    result = run_cells(cells, **_engine_kwargs(args))
+    for cell in cells:
+        metrics = result.results.get(cell.spec)
+        if metrics is None:
+            print(f"[FAIL] {cell.id}")
+        else:
+            print(f"[ok ] {cell.id}: {metrics.total_exits} exits, "
+                  f"{metrics.timer_exits} timer, "
+                  f"overhead {metrics.overhead_ratio:.4f}")
+    print(f"\n{mx.name}: {len(cells)} cells, {result.cache_hits} cached, "
+          f"{result.executed} executed, {len(result.failed_specs)} failed")
+    if args.identity:
+        import tempfile
+
+        with tempfile.TemporaryDirectory(prefix="repro-matrix-id-") as td:
+            problems = identity_problems(
+                cells, jobs=args.jobs or 2, cache_dir=td,
+                progress=_progress_printer(args),
+            )
+        if problems:
+            print(f"\nidentity check FAILED ({len(problems)} problems):")
+            for p in problems:
+                print(f"  {p}")
+            return 1
+        print("identity check: serial == pooled == cached (byte-identical)")
+    return 0 if result.complete else 1
 
 
 def _make_obs(args):
@@ -477,7 +546,25 @@ def build_parser() -> argparse.ArgumentParser:
                     help="fuzz exactly these seeds (replay failures)")
     fz.add_argument("--solo-only", action="store_true",
                     help="skip the overcommitted placement")
+    fz.add_argument("--perturb", action="store_true",
+                    help="additionally expand each seed into a perturbation "
+                         "schedule (suspend/restore/hotplug/drift) applied to "
+                         "every cell")
     fz.set_defaults(fn=_cmd_fuzz)
+
+    mx = sub.add_parser(
+        "matrix", help="scenario-matrix DSL: expand, sanitize, or run a grid file"
+    )
+    mx.add_argument("action", choices=["expand", "check", "run"],
+                    help="expand: print cell IDs; check: sanitized serial runs; "
+                         "run: parallel engine (cache + workers)")
+    mx.add_argument("file", help="matrix file (.toml / .yaml / .yml)")
+    mx.add_argument("--max-cells", type=int, default=0, metavar="N",
+                    help="check/run at most the first N cells")
+    mx.add_argument("--identity", action="store_true",
+                    help="after run: verify serial, pooled and cached results "
+                         "are byte-identical")
+    mx.set_defaults(fn=_cmd_matrix)
 
     run = sub.add_parser("run", help="run one PARSEC model and print its profile")
     run.add_argument("benchmark", choices=list(parsec.BENCHMARK_NAMES))

@@ -44,12 +44,13 @@ from typing import Any, Callable, Iterable, Optional
 
 from repro.config import HostFeatures, IoDeviceKind, MachineSpec, TickMode
 from repro.errors import ReproError
+from repro.host.perturb import perturbation_from_dict, perturbation_to_dict
 from repro.metrics.perf import RunMetrics
 from repro.metrics.report import Comparison, compare_runs
 
 #: Bump when the spec encoding or result encoding changes shape —
 #: invalidates every previously cached result.
-CACHE_VERSION = 2
+CACHE_VERSION = 3
 
 #: Default per-run wall-clock timeout (seconds of *real* time).
 DEFAULT_TIMEOUT_S = 600.0
@@ -163,6 +164,10 @@ class RunSpec:
     horizon_ns: Optional[int] = None
     label: Optional[str] = None
     keep_timer_on_idle_exit: bool = True
+    #: Timed disturbances (:class:`repro.host.perturb.Perturbation`)
+    #: installed against the VM before boot. Part of the cache key:
+    #: the same run with a different schedule is a different cell.
+    perturbations: tuple = ()
     #: Collect a virtual-perf profile (sampling profiler + latency
     #: histograms + steal) alongside the run. The profile is returned
     #: in :attr:`GridResult.artifacts` and cached content-addressed
@@ -199,6 +204,7 @@ def spec_to_dict(spec: RunSpec) -> dict:
         "label": spec.label,
         "keep_timer_on_idle_exit": spec.keep_timer_on_idle_exit,
         "profile": spec.profile,
+        "perturbations": [perturbation_to_dict(p) for p in spec.perturbations],
     }
 
 
@@ -221,6 +227,9 @@ def spec_from_dict(data: dict) -> RunSpec:
         label=data["label"],
         keep_timer_on_idle_exit=bool(data["keep_timer_on_idle_exit"]),
         profile=bool(data.get("profile", False)),
+        perturbations=tuple(
+            perturbation_from_dict(p) for p in data.get("perturbations", [])
+        ),
     )
 
 
@@ -304,6 +313,7 @@ def execute_spec_obs(spec: RunSpec) -> tuple[Any, Optional[dict]]:
             device_kind=spec.device_kind,
             horizon_ns=spec.horizon_ns if spec.horizon_ns is not None else DEFAULT_HORIZON_NS,
             label=spec.label,
+            perturbations=spec.perturbations,
             obs=obs,
         )
     return result, (obs.to_json_dict() if obs is not None else None)

@@ -43,6 +43,7 @@ def run_workload(
     device_kind: Optional[IoDeviceKind] = None,
     horizon_ns: int = DEFAULT_HORIZON_NS,
     label: Optional[str] = None,
+    perturbations=(),
     tracer=None,
     inspect=None,
     obs=None,
@@ -65,6 +66,12 @@ def run_workload(
     profiler observes the cycle ledger, and it is finalized before
     metrics collection. Observability never schedules simulator events,
     so metrics are bit-identical with ``obs`` on or off.
+
+    ``perturbations``, when non-empty, is a schedule of
+    :class:`repro.host.perturb.Perturbation` events (suspend/resume,
+    save/restore, vCPU hotplug, clock drift) installed against the VM
+    before boot; the run's metrics then carry the perturbation counters
+    in :attr:`RunMetrics.extra`.
     """
     nvcpus = vcpus if vcpus is not None else workload.default_vcpus()
     mspec = machine_spec or MachineSpec()
@@ -127,6 +134,11 @@ def run_workload(
 
     kernel.task_done_callbacks.append(on_done)
 
+    if perturbations:
+        from repro.host.perturb import install_perturbations
+
+        install_perturbations(hv, vm, perturbations)
+
     hv.start()
     sim.run(until=horizon_ns)
 
@@ -151,6 +163,15 @@ def run_workload(
         "steal_ns": sum(v.total_steal_ns for v in vm.vcpus),
         "steal_episodes": sum(v.steal_episodes for v in vm.vcpus),
     }
+    if perturbations:
+        # Only perturbed runs carry these keys, so unperturbed metrics
+        # stay bit-identical to the pre-perturbation engine.
+        extra["suspend_count"] = vm.suspend_count
+        extra["suspended_ns"] = vm.total_suspended_ns
+        extra["clock_jump_ns"] = vm.clock_jump_ns
+        extra["clock_offset_ns"] = vm.guest_clock_offset_ns
+        extra["hotplug_count"] = vm.hotplug_count
+        extra["unplug_count"] = vm.unplug_count
     from repro.host.vcpu import VcpuState
 
     for v in vm.vcpus:

@@ -138,6 +138,52 @@ class GuestKernel:
         """Shut the VM down: executors stop at their next op fetch."""
         self._stopped = True
 
+    # ----------------------------------------------------- perturbations
+
+    def on_clock_jump(self, jump_ns: int) -> None:
+        """The guest clock jumped forward ``jump_ns`` (restore from save).
+
+        Mirrors Linux's ``timekeeping_resume()``: every online vCPU's
+        tick machinery re-bases on the new clock before the vCPUs thaw.
+        Hardware writes queued here go through :meth:`program_hw`, which
+        clamps stale expiries forward — re-armed deadlines always land
+        at or after the restore instant.
+        """
+        for vidx in range(min(self.nvcpus, len(self.vm.vcpus))):
+            self._with_vcpu(vidx, lambda v=vidx: self.policy.on_clock_jump(v, jump_ns))
+
+    def on_vcpu_hotplug(self, vidx: int) -> None:
+        """A vCPU came online at index ``vidx`` (host-side hotplug).
+
+        Grows the per-vCPU kernel structures — or resets them when a
+        previously offlined index comes back — then replays the same
+        staggered boot sequence the boot-time vCPUs ran.
+        """
+        if vidx == self.nvcpus:
+            self.nvcpus += 1
+            self._ctx.append(VcpuCtx(vidx))
+            self.rcu.grow()
+            self.sched.grow()
+        elif 0 <= vidx < self.nvcpus:
+            # Re-plug of an offlined index: fresh per-vCPU state.
+            self._ctx[vidx] = VcpuCtx(vidx)
+        else:
+            raise GuestError(f"hotplug at index {vidx} skips slot {self.nvcpus}")
+        boot = self.costs.guest_boot_init + vidx * 40_000
+        self.push(vidx, gops.Compute(boot, K))
+        self._with_vcpu(vidx, lambda v=vidx: self.policy.on_boot(v))
+
+    def on_vcpu_unplug(self, vidx: int) -> None:
+        """A vCPU went offline; drop its queued kernel work.
+
+        The context object is replaced wholesale on a re-plug, so
+        clearing the op queue suffices — hrtimers and wheel state die
+        with the context.
+        """
+        ctx = self._ctx[vidx]
+        ctx.ops.clear()
+        ctx.idle = False
+
     # ------------------------------------------------------- small helpers
 
     def now(self) -> int:

@@ -56,6 +56,10 @@ class Rcu:
         self._ops_per_callback = ops_per_callback
         self._op_counter = 0
 
+    def grow(self) -> None:
+        """Add per-vCPU state for a hotplugged vCPU (rcutree_prepare_cpu)."""
+        self._states.append(RcuState())
+
     # ----------------------------------------------------------- update side
 
     def note_update_op(self, vcpu_index: int) -> None:

@@ -74,6 +74,13 @@ class GuestScheduler:
 
     # ------------------------------------------------------------ placement
 
+    def grow(self) -> None:
+        """Extend per-vCPU structures for a hotplugged vCPU."""
+        self.nvcpus += 1
+        self._queues.append(RunQueue())
+        self._current.append(None)
+        self.switches.append(0)
+
     def add_task(self, task: Task) -> None:
         """Register a new runnable task on its affinity vCPU."""
         if not 0 <= task.affinity < self.nvcpus:

@@ -65,6 +65,14 @@ class TickPolicy:
         """The idle loop is exiting to run a task."""
         raise NotImplementedError
 
+    def on_clock_jump(self, vidx: int, jump_ns: int) -> None:
+        """The guest clock jumped forward (restore from a saved image).
+
+        Default: nothing — the periodic tick keeps its phase (the paused
+        virtual LAPIC resumed where it left off), and paratick re-bases
+        on the host side (``last_virtual_tick_ns`` is reset at restore).
+        """
+
 
 class PeriodicPolicy(TickPolicy):
     """Classic periodic scheduler tick.
@@ -182,6 +190,24 @@ class NohzPolicy(TickPolicy):
             return
         ctx.tick_stopped = False
         self.k.trace_mark(vidx, "tick_restart")
+        self._enqueue_tick(vidx)
+        self.k.reprogram_hw(vidx)
+
+    # ------------------------------------------------------------ restore
+
+    def on_clock_jump(self, vidx: int, jump_ns: int) -> None:
+        """Post-restore re-base (Linux's ``tick_resume`` path).
+
+        A busy vCPU's tick hrtimer now points into the pre-save past:
+        re-arm it on the new clock's tick grid and reprogram the
+        hardware so the deadline MSR holds a post-restore expiry. Idle
+        vCPUs keep their deferred wake — the host stand-in timer clamps
+        the stale deadline to the resume instant, so it fires right
+        after thaw and the normal ``on_timer_irq`` path re-evaluates.
+        """
+        ctx = self.k.ctx(vidx)
+        if ctx.idle or ctx.tick_stopped:
+            return
         self._enqueue_tick(vidx)
         self.k.reprogram_hw(vidx)
 

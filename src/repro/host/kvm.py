@@ -36,6 +36,7 @@ from repro.guest import ops as gops
 from repro.hw.cpu import CycleDomain, Machine
 from repro.hw.interrupts import Vector
 from repro.hw.iodev import IoRequest
+from repro.hw.lapic import LapicTimer
 from repro.hw.msr import Msr
 from repro.hw.preemption import PreemptionTimer
 from repro.hw.tsc import Tsc
@@ -67,6 +68,27 @@ class VirtualMachine:
         self.paratick_period_ns = 0
         #: Virtual ticks (vector 235) injected across all vCPUs.
         self.virtual_ticks_injected = 0
+        #: vCPU count at boot; hotplug grows ``vcpus`` beyond this and
+        #: only indices at or past it may be unplugged again.
+        self.boot_vcpus = len(vcpus)
+        # ---- perturbation state (repro.host.perturb) ----
+        #: True while the VM is frozen between suspend_vm and resume_vm.
+        self.suspended = False
+        #: When the current suspended span began (host time).
+        self.suspend_epoch_ns = 0
+        self.suspend_count = 0
+        #: Host time spent suspended across all closed spans.
+        self.total_suspended_ns = 0
+        #: Guest-visible clock jump accumulated by save/restore cycles.
+        self.clock_jump_ns = 0
+        #: Signed guest-vs-host clock offset (clock-drift perturbation);
+        #: applied when guest deadline writes are converted to host time.
+        self.guest_clock_offset_ns = 0
+        self.hotplug_count = 0
+        self.unplug_count = 0
+        #: Steal counters of unplugged vCPUs, keyed by trace source —
+        #: kept so trace-derived steal still reconciles after teardown.
+        self.retired_steal: dict[str, tuple[int, int]] = {}
 
     @property
     def name(self) -> str:
@@ -204,6 +226,143 @@ class Hypervisor:
         self._host_tick_events[pcpu_index] = self.sim.schedule(period, self._host_tick, pcpu_index)
         vcpu.exec.host_tick_interrupt(preempt=self.sched.wants_preemption(pcpu_index))
 
+    # -------------------------------------------------------- perturbations
+
+    def suspend_vm(self, vm: VirtualMachine) -> None:
+        """Freeze a VM: every vCPU stops, all its timers pause.
+
+        Models ``virsh suspend`` / SIGSTOP on the VM process: host time
+        keeps flowing (and is accounted in ``total_suspended_ns``) while
+        the guest observes nothing until :meth:`resume_vm`.
+        """
+        if vm.suspended:
+            raise HostError(f"VM {vm.name}: suspend while already suspended")
+        now = self.sim.now
+        vm.suspended = True
+        vm.suspend_epoch_ns = now
+        vm.suspend_count += 1
+        if self.sim.trace.enabled:
+            self.sim.trace.emit(now, vm.name, "vm_suspend", None)
+        for v in vm.vcpus:
+            v.exec.freeze()
+        # Freezing forgets (not releases) the held pCPUs; hand any CPU
+        # left idle to the next waiter of another VM so overcommitted
+        # neighbours keep running through the span.
+        for pcpu_index in sorted({v.pcpu.index for v in vm.vcpus}):
+            if self.sched.running_on(pcpu_index) is None:
+                nxt = self.sched.grant_next(pcpu_index)
+                if nxt is not None:
+                    nxt.exec.dispatch()
+
+    def resume_vm(self, vm: VirtualMachine, *, clock_jump: bool = False) -> None:
+        """Thaw a suspended VM.
+
+        With ``clock_jump=False`` this is plain suspend/resume: the
+        guest's clock never jumps, timers continue with the phase they
+        had. With ``clock_jump=True`` it models save/restore: the guest
+        clock jumps forward by the suspended span at the restore edge
+        (``vm_restore``), paratick's last-tick state resynchronizes so
+        the span is not replayed as a backlog of ticks, and the guest
+        kernel re-aligns its tick machinery — every deadline re-armed
+        afterwards must be at or after the restore instant.
+        """
+        if not vm.suspended:
+            raise HostError(f"VM {vm.name}: resume but not suspended")
+        now = self.sim.now
+        span = now - vm.suspend_epoch_ns
+        vm.suspended = False
+        vm.total_suspended_ns += span
+        if self.sim.trace.enabled:
+            self.sim.trace.emit(now, vm.name, "vm_resume", span)
+        if clock_jump:
+            vm.clock_jump_ns += span
+            if self.sim.trace.enabled:
+                self.sim.trace.emit(now, vm.name, "vm_restore", span)
+            for v in vm.vcpus:
+                # kvmclock resync: the span is not a tick backlog.
+                v.last_virtual_tick_ns = now
+            if vm.kernel is not None:
+                vm.kernel.on_clock_jump(span)
+        for v in vm.vcpus:
+            v.exec.unfreeze()
+
+    def restore_vm(self, vm: VirtualMachine) -> None:
+        """Resume with save/restore semantics (guest clock jump)."""
+        self.resume_vm(vm, clock_jump=True)
+
+    def drift_guest_clock(self, vm: VirtualMachine, delta_ns: int) -> None:
+        """Step the guest's clock offset by ``delta_ns`` (signed).
+
+        Models paravirtual-clock drift between host and guest: deadline
+        values the guest computes from its own clock land ``offset``
+        earlier (positive drift: guest clock runs ahead) on the host
+        timeline, clamped so a deadline never lands in the host's past.
+        """
+        vm.guest_clock_offset_ns += delta_ns
+        if self.sim.trace.enabled:
+            self.sim.trace.emit(self.sim.now, vm.name, "clock_drift", vm.guest_clock_offset_ns)
+
+    def hotplug_vcpu(self, vm: VirtualMachine, *, pcpu: Optional[int] = None) -> VCpu:
+        """Bring one additional vCPU online while the VM runs.
+
+        The new vCPU takes the next index, is placed round-robin unless
+        ``pcpu`` pins it, boots through the guest kernel's hotplug path
+        and enters the run-state machine exactly like a boot-time vCPU
+        (init -> exited).
+        """
+        if vm.suspended:
+            raise HostError(f"VM {vm.name}: hotplug while suspended")
+        index = len(vm.vcpus)
+        if pcpu is None:
+            total = self.machine.spec.total_cpus
+            pcpu = self._next_auto_cpu
+            self._next_auto_cpu = (self._next_auto_cpu + 1) % total
+        v = VCpu(index, vm.name, self.machine.cpu(pcpu))
+        v.exec = _VcpuExec(self, vm, v)
+        vm.vcpus.append(v)
+        vm.hotplug_count += 1
+        if self.sim.trace.enabled:
+            self.sim.trace.emit(self.sim.now, vm.name, "vcpu_hotplug", index)
+        if vm.kernel is not None:
+            vm.kernel.on_vcpu_hotplug(index)
+        v.exec.start()
+        return v
+
+    def unplug_vcpu(self, vm: VirtualMachine, index: Optional[int] = None) -> None:
+        """Tear down a previously hotplugged vCPU.
+
+        Only the highest-index, beyond-boot vCPU may go (LIFO, so
+        indices stay dense and boot vCPUs — which own workload tasks —
+        are never removed).
+        """
+        if vm.suspended:
+            raise HostError(f"VM {vm.name}: unplug while suspended")
+        if index is None:
+            index = len(vm.vcpus) - 1
+        if index < vm.boot_vcpus or index != len(vm.vcpus) - 1:
+            raise HostError(
+                f"VM {vm.name}: cannot unplug vcpu{index} "
+                f"(boot vCPUs 0..{vm.boot_vcpus - 1}, online {len(vm.vcpus)})"
+            )
+        if vm.kernel is not None and vm.kernel.sched.has_work(index):
+            raise HostError(f"VM {vm.name}: vcpu{index} still has runnable tasks")
+        v = vm.vcpus[index]
+        vm.unplug_count += 1
+        if self.sim.trace.enabled:
+            self.sim.trace.emit(self.sim.now, vm.name, "vcpu_unplug", index)
+        if self.sched.running_on(v.pcpu.index) is v:
+            # Hand the CPU over before shutdown so waiters are not orphaned.
+            nxt = self.sched.release(v)
+            if nxt is not None:
+                nxt.exec.dispatch()
+        v.exec.shutdown()
+        src = f"{vm.name}/vcpu{index}"
+        prev = vm.retired_steal.get(src, (0, 0))
+        vm.retired_steal[src] = (prev[0] + v.total_steal_ns, prev[1] + v.steal_episodes)
+        vm.vcpus.pop()
+        if vm.kernel is not None:
+            vm.kernel.on_vcpu_unplug(index)
+
     # ------------------------------------------------------------- readouts
 
     def find_vm(self, name: str) -> VirtualMachine:
@@ -235,9 +394,11 @@ class _VcpuExec:
         "_polling",
         "_poll_event",
         "_poll_start",
-        "_virt_periodic_ns",
-        "_periodic_event",
+        "_vlapic",
         "_pending_sched_ns",
+        "_frozen_from",
+        "_frozen_hostdl",
+        "_frozen_vlapic_left",
     )
 
     def __init__(self, hv: Hypervisor, vm: VirtualMachine, vcpu: VCpu):
@@ -258,11 +419,19 @@ class _VcpuExec:
         self._polling = False
         self._poll_event = None
         self._poll_start = 0
-        self._virt_periodic_ns = 0
-        self._periodic_event = None
+        #: KVM's periodic-mode vLAPIC emulation (created on first TMICT
+        #: write); the hardware timer model supplies pause/resume for
+        #: the VM-suspend path.
+        self._vlapic: Optional[LapicTimer] = None
         #: Scheduler work (block swtch, wake of a contended vCPU) whose
         #: cost is deferred until it can occupy this vCPU's timeline.
         self._pending_sched_ns = 0
+        #: State this vCPU was frozen from (VM suspend), None when live.
+        self._frozen_from: Optional[VcpuState] = None
+        #: Whether the host stand-in deadline timer was armed at freeze.
+        self._frozen_hostdl = False
+        #: Remaining ns of the paused vLAPIC period at freeze, if any.
+        self._frozen_vlapic_left: Optional[int] = None
 
     def _trace(self, kind: str, detail=None, *, suffix: str = "") -> None:
         """Emit a structured event for this vCPU (callers building tuple
@@ -286,21 +455,117 @@ class _VcpuExec:
 
     def shutdown(self) -> None:
         """Stop driving this vCPU."""
+        vcpu = self.vcpu
+        now = self.sim.now
+        # Close any open READY/HALTED interval: the trace observers
+        # close theirs on the ready->off / halted->off transition below,
+        # and the runtime counters must agree exactly (unplug teardown).
+        if vcpu.state is VcpuState.READY:
+            vcpu.total_steal_ns += now - vcpu.ready_since_ns
+            vcpu.steal_episodes += 1
+        elif vcpu.state is VcpuState.HALTED:
+            vcpu.total_halted_ns += now - vcpu.halted_since_ns
+            vcpu.halted_since_ns = now
         self._cancel_cur()
         self._cancel_host_deadline()
-        if self._periodic_event is not None:
-            self.sim.cancel(self._periodic_event)
-            self._periodic_event = None
-            self._trace("lapic_disarm", suffix="/vlapic")
+        if self._poll_event is not None:
+            self.sim.cancel(self._poll_event)
+            self._poll_event = None
+            self._polling = False
+        if self._vlapic is not None:
+            self._vlapic.disarm()
         self.preempt_timer.stop()
         self.hv.sched.forget(self.vcpu)
         self.vcpu.state = VcpuState.OFF
+
+    # ------------------------------------------------------ suspend support
+
+    def freeze(self) -> None:
+        """VM-wide suspend: quiesce this vCPU and park it (SUSPENDED).
+
+        The vCPU's pCPU claim is *forgotten* (not released — the owning
+        :meth:`Hypervisor.suspend_vm` re-grants idle CPUs afterwards),
+        every timer standing in for the guest pauses, and in-flight
+        exit/entry continuations are parked by the suspend guards when
+        they land. READY waits and halt spans in progress are closed at
+        the freeze edge: the suspended span is host time, never guest
+        steal or idle time.
+        """
+        vcpu = self.vcpu
+        st = vcpu.state
+        if st in (VcpuState.OFF, VcpuState.INIT, VcpuState.SUSPENDED):
+            return
+        now = self.sim.now
+        self._frozen_from = st
+        if self._vlapic is not None:
+            self._frozen_vlapic_left = self._vlapic.pause()
+        self._frozen_hostdl = self._host_deadline_event is not None
+        self._cancel_host_deadline()
+        if self._polling:
+            self._polling = False
+            self.sim.cancel(self._poll_event)
+            self._poll_event = None
+            vcpu.pcpu.account(CycleDomain.HALT_POLL, now - self._poll_start)
+        if st is VcpuState.GUEST:
+            self._cancel_cur()
+            self.preempt_timer.stop()
+        elif st is VcpuState.HALTED:
+            # Close the halt accounting at the suspend edge; the episode
+            # count stays with the eventual wake.
+            vcpu.total_halted_ns += now - vcpu.halted_since_ns
+            vcpu.halted_since_ns = now
+        elif st is VcpuState.READY:
+            # The state machine emits ready -> suspended, which closes
+            # this READY interval in every trace-side observer — close
+            # the runtime steal counters identically so they reconcile.
+            vcpu.total_steal_ns += now - vcpu.ready_since_ns
+            vcpu.steal_episodes += 1
+        # EXITED: a continuation (entry, exit work, halt) is in flight;
+        # the suspend guards park it when it fires inside the span.
+        self.hv.sched.forget(vcpu)
+        vcpu.state = VcpuState.SUSPENDED
+
+    def unfreeze(self) -> None:
+        """Resume-side thaw: restore the state the vCPU was frozen from.
+
+        Timers re-arm monotonically — every expiry that passed during
+        the span is clamped to the resume instant, so stale deadlines
+        fire immediately *after* resume instead of in the guest's past.
+        """
+        vcpu = self.vcpu
+        if vcpu.state is not VcpuState.SUSPENDED:
+            return
+        now = self.sim.now
+        frozen_from = self._frozen_from
+        self._frozen_from = None
+        rearm_hostdl = self._frozen_hostdl
+        self._frozen_hostdl = False
+        if self._frozen_vlapic_left is not None:
+            self._vlapic.resume(self._frozen_vlapic_left)
+            self._frozen_vlapic_left = None
+        if frozen_from is VcpuState.HALTED:
+            vcpu.state = VcpuState.HALTED
+            vcpu.halted_since_ns = now
+            if vcpu.pending_irqs:
+                self._wake()
+                return
+            if rearm_hostdl:
+                self._arm_host_deadline()
+            return
+        # GUEST / EXITED / READY all thaw runnable.
+        vcpu.state = VcpuState.EXITED
+        if self.hv.sched.acquire(vcpu):
+            self._enter_guest()
+        elif rearm_hostdl:
+            self._arm_host_deadline()
 
     # ------------------------------------------------------------- VM entry
 
     def _enter_guest(self) -> None:
         """Begin the VM-entry sequence (we hold the physical CPU)."""
         vcpu = self.vcpu
+        if vcpu.state in (VcpuState.SUSPENDED, VcpuState.OFF):
+            return  # parked by a VM suspend (or torn down) mid-transition
         self._cancel_host_deadline()
         self.hv.ensure_host_tick(vcpu.pcpu.index)
         # Paratick host hook (Fig. 2): runs on every VM entry.
@@ -330,6 +595,12 @@ class _VcpuExec:
         vcpu = self.vcpu
         vcpu.pcpu.account(CycleDomain.VMX_TRANSITION, entry_ns)
         vcpu.pcpu.account(CycleDomain.POLLUTION, pollution_ns)
+        if vcpu.state in (VcpuState.SUSPENDED, VcpuState.OFF):
+            # Frozen mid-entry: the drained vectors go back to pending so
+            # the post-resume entry injects them again.
+            for v in vectors:
+                vcpu.post_irq(v)
+            return
         vcpu.state = VcpuState.GUEST
         deadline = vcpu.guest_deadline_ns
         if (
@@ -492,7 +763,10 @@ class _VcpuExec:
         pcpu.account(CycleDomain.HOST_HANDLER, handler_ns)
         if effect is not None:
             effect()
-        if self.vcpu.state is VcpuState.OFF:
+        if self.vcpu.state in (VcpuState.OFF, VcpuState.SUSPENDED):
+            # Shut down by the effect, or frozen by a VM suspend while
+            # the handler ran: the hypervisor-side effect still retired,
+            # but the continuation parks until resume (or forever).
             return
         if then is not None:
             then()
@@ -508,27 +782,41 @@ class _VcpuExec:
             self.preempt_timer.clear()
             self._trace("deadline_clear")
         else:
-            self.vcpu.guest_deadline_ns = self.hv.tsc.deadline_to_ns(tsc_value)
-            self._trace("deadline_set", self.vcpu.guest_deadline_ns)
+            deadline = self.hv.tsc.deadline_to_ns(tsc_value)
+            offset = self.vm.guest_clock_offset_ns
+            if offset:
+                # Clock-drift perturbation: the guest computed this
+                # deadline on its own (drifted) clock; on the host
+                # timeline it lands ``offset`` earlier, clamped so it
+                # never lands in the past.
+                deadline = max(deadline - offset, self.sim.now)
+            self.vcpu.guest_deadline_ns = deadline
+            self._trace("deadline_set", deadline)
 
     def _start_virtual_periodic(self, period_ns: int) -> None:
-        """Guest armed its virtual LAPIC in periodic mode."""
+        """Guest armed its virtual LAPIC in periodic mode.
+
+        KVM emulates the repeating timer host-side through the LAPIC
+        hardware model (one timer per vCPU, source ``.../vlapic``);
+        expiry delivers a tick, waking the vCPU if halted.
+        """
         if period_ns <= 0:
             raise HostError(f"{self.vcpu!r}: invalid periodic LAPIC period {period_ns}")
-        if self._periodic_event is not None:
-            self.sim.cancel(self._periodic_event)
-            self._trace("lapic_disarm", suffix="/vlapic")
-        self._virt_periodic_ns = period_ns
-        self._periodic_event = self.sim.schedule(period_ns, self._virtual_periodic_fire)
-        if self.sim.trace.enabled:
-            self._trace("lapic_arm", ("periodic", self.sim.now + period_ns), suffix="/vlapic")
+        if self._vlapic is None:
+            self._vlapic = LapicTimer(
+                self.sim,
+                self.hv.tsc,
+                self._vlapic_deliver,
+                name=f"{self.vm.name}/vcpu{self.vcpu.index}/vlapic",
+            )
+        self._vlapic.arm_periodic_ns(period_ns)
+        if self.vm.suspended:
+            # The TMICT write retired inside a suspended span: the vLAPIC
+            # clock is gated, so park the fresh period until resume.
+            self._frozen_vlapic_left = self._vlapic.pause()
 
-    def _virtual_periodic_fire(self) -> None:
-        """One period elapsed: deliver a tick, waking the vCPU if halted."""
-        if self.sim.trace.enabled:
-            self._trace("lapic_fire", ("periodic", int(Vector.LOCAL_TIMER)), suffix="/vlapic")
-        self._periodic_event = self.sim.schedule(self._virt_periodic_ns, self._virtual_periodic_fire)
-        self.deliver(Vector.LOCAL_TIMER, ExitTag.TIMER_GUEST_TICK)
+    def _vlapic_deliver(self, vector: Vector) -> None:
+        self.deliver(vector, ExitTag.TIMER_GUEST_TICK)
 
     def _submit_io(self, op: gops.IoKick) -> None:
         op.request.cookie = (self.vcpu.index, op.request.cookie)
@@ -538,6 +826,8 @@ class _VcpuExec:
 
     def _halt(self) -> None:
         """HLT continuation: poll (optionally), then block."""
+        if self.vcpu.state in (VcpuState.SUSPENDED, VcpuState.OFF):
+            return  # frozen/torn down while the HLT exit was processing
         if self.vcpu.pending_irqs:
             # An interrupt arrived during exit processing: do not block.
             self._enter_guest()
@@ -644,8 +934,9 @@ class _VcpuExec:
             self._wake(cross_socket=cross_socket)
         elif state is VcpuState.EXITED and self._polling:
             self._finish_poll_hit()
-        # EXITED (not polling) / READY / INIT: stays pending, injected at
-        # the next VM entry — no additional exit, like a real posted IRR bit.
+        # EXITED (not polling) / READY / INIT / SUSPENDED: stays pending,
+        # injected at the next VM entry (for a suspended vCPU that is the
+        # post-resume entry) — no additional exit, like a posted IRR bit.
 
     def _finish_poll_hit(self) -> None:
         """Halt polling succeeded: skip the block/wake round trip."""

@@ -1,0 +1,191 @@
+"""Perturbation events: timed disturbances injected into a running VM.
+
+A perturbation schedule is pure data — a tuple of :class:`Perturbation`
+records — so it rides inside a :class:`~repro.experiments.parallel.RunSpec`
+(hashable, picklable, part of the content-addressed cache key) and
+expands from scenario matrices and fuzz seeds alike. Four kinds exist:
+
+* ``suspend`` — pause the whole VM (``virsh suspend`` / SIGSTOP), then
+  resume after ``duration_ns``. Host time elapses; the guest clock does
+  not jump, timers keep their phase.
+* ``restore`` — the same pause, but the resume models save/restore: the
+  guest clock jumps forward by the suspended span and the guest kernel
+  re-bases its tick machinery (:meth:`GuestKernel.on_clock_jump`).
+* ``hotplug`` — bring one extra vCPU online at ``at_ns``; when
+  ``duration_ns`` > 0, unplug it again that much later (LIFO).
+* ``drift`` — step the guest clock offset by ``step_ns`` (signed), a
+  paravirtual-clock drift between host and guest.
+
+``count``/``period_ns`` repeat any kind: occurrence *i* starts at
+``at_ns + i * period_ns``. All events are scheduled up front as
+first-class simulator events, so runs stay deterministic and the
+schedule itself is reproducible from the spec alone.
+
+The injection points are deliberately *defensive*: an occurrence whose
+precondition no longer holds (suspending an already-suspended VM when
+two schedules overlap, unplugging when no beyond-boot vCPU remains) is
+skipped rather than raised — whether it applies is a pure function of
+the schedule, so determinism is preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.host.kvm import Hypervisor, VirtualMachine
+
+#: Recognised perturbation kinds.
+KINDS = ("suspend", "restore", "hotplug", "drift")
+
+
+@dataclass(frozen=True)
+class Perturbation:
+    """One timed disturbance (possibly repeating) applied to a VM."""
+
+    kind: str
+    #: When the first occurrence fires (absolute sim ns, >= 1 so the VM
+    #: has booted).
+    at_ns: int
+    #: suspend/restore: span length; hotplug: plug->unplug distance
+    #: (0 = stays online). Ignored for drift.
+    duration_ns: int = 0
+    #: Occurrences; > 1 requires ``period_ns``.
+    count: int = 1
+    #: Spacing between occurrence starts.
+    period_ns: int = 0
+    #: drift: signed offset step per occurrence. Ignored otherwise.
+    step_ns: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ConfigError(f"unknown perturbation kind {self.kind!r} (know {KINDS})")
+        if self.at_ns < 1:
+            raise ConfigError(f"{self.kind}: at_ns must be >= 1, got {self.at_ns}")
+        if self.duration_ns < 0:
+            raise ConfigError(f"{self.kind}: negative duration {self.duration_ns}")
+        if self.count < 1:
+            raise ConfigError(f"{self.kind}: count must be >= 1, got {self.count}")
+        if self.count > 1 and self.period_ns <= self.duration_ns:
+            raise ConfigError(
+                f"{self.kind}: repeating needs period_ns > duration_ns "
+                f"({self.period_ns} <= {self.duration_ns})"
+            )
+        if self.kind in ("suspend", "restore") and self.duration_ns == 0:
+            raise ConfigError(f"{self.kind}: a zero-length span perturbs nothing")
+        if self.kind == "drift" and self.step_ns == 0:
+            raise ConfigError("drift: step_ns must be non-zero")
+
+    def describe(self) -> str:
+        parts = [f"{self.kind}@{self.at_ns}"]
+        if self.duration_ns:
+            parts.append(f"for {self.duration_ns}")
+        if self.step_ns:
+            parts.append(f"step {self.step_ns:+d}")
+        if self.count > 1:
+            parts.append(f"x{self.count}/{self.period_ns}")
+        return " ".join(parts)
+
+
+def perturbation_to_dict(p: Perturbation) -> dict:
+    """Canonical JSON encoding (cache keys, matrix dumps)."""
+    return {
+        "kind": p.kind,
+        "at_ns": p.at_ns,
+        "duration_ns": p.duration_ns,
+        "count": p.count,
+        "period_ns": p.period_ns,
+        "step_ns": p.step_ns,
+    }
+
+
+def perturbation_from_dict(data: dict) -> Perturbation:
+    """Inverse of :func:`perturbation_to_dict` (validates on build)."""
+    return Perturbation(
+        kind=data["kind"],
+        at_ns=int(data["at_ns"]),
+        duration_ns=int(data.get("duration_ns", 0)),
+        count=int(data.get("count", 1)),
+        period_ns=int(data.get("period_ns", 0)),
+        step_ns=int(data.get("step_ns", 0)),
+    )
+
+
+# --------------------------------------------------------------- injection
+
+
+def install_perturbations(
+    hv: "Hypervisor", vm: "VirtualMachine", perturbations: Iterable[Perturbation]
+) -> int:
+    """Schedule every occurrence of every perturbation as sim events.
+
+    Call after the VM is built but before (or after) ``hv.start()`` —
+    all times are absolute. Returns the number of simulator events
+    scheduled.
+    """
+    sim = hv.sim
+    scheduled = 0
+    for p in perturbations:
+        for i in range(p.count):
+            start = p.at_ns + i * p.period_ns
+            if p.kind in ("suspend", "restore"):
+                restore = p.kind == "restore"
+                sim.at(start, _suspender(hv, vm))
+                sim.at(start + p.duration_ns, _resumer(hv, vm, restore))
+                scheduled += 2
+            elif p.kind == "hotplug":
+                sim.at(start, _plugger(hv, vm))
+                scheduled += 1
+                if p.duration_ns:
+                    sim.at(start + p.duration_ns, _unplugger(hv, vm))
+                    scheduled += 1
+            else:  # drift
+                sim.at(start, _drifter(hv, vm, p.step_ns))
+                scheduled += 1
+    return scheduled
+
+
+def _suspender(hv, vm):
+    def fire() -> None:
+        if not vm.suspended:
+            hv.suspend_vm(vm)
+
+    return fire
+
+
+def _resumer(hv, vm, restore: bool):
+    def fire() -> None:
+        if vm.suspended:
+            hv.resume_vm(vm, clock_jump=restore)
+
+    return fire
+
+
+def _plugger(hv, vm):
+    def fire() -> None:
+        if not vm.suspended:
+            hv.hotplug_vcpu(vm)
+
+    return fire
+
+
+def _unplugger(hv, vm):
+    def fire() -> None:
+        if vm.suspended or len(vm.vcpus) <= vm.boot_vcpus:
+            return
+        index = len(vm.vcpus) - 1
+        if vm.kernel is not None and vm.kernel.sched.has_work(index):
+            return  # a task landed there; leave the vCPU online
+        hv.unplug_vcpu(vm, index)
+
+    return fire
+
+
+def _drifter(hv, vm, step_ns: int):
+    def fire() -> None:
+        hv.drift_guest_clock(vm, step_ns)
+
+    return fire

@@ -97,6 +97,23 @@ class HostScheduler:
         vcpu.ready_since_ns = vcpu.pcpu._sim.now
         self._ready[idx].append(vcpu)
 
+    def grant_next(self, pcpu_index: int) -> Optional[VCpu]:
+        """Hand an idle CPU to its next waiter (marked running).
+
+        Used when a vCPU vanished without releasing — a VM-wide suspend
+        forgets its claims — so waiters from other VMs are not orphaned.
+        Returns None when the CPU is busy or nobody waits.
+        """
+        if self._running[pcpu_index] is not None:
+            return None
+        queue = self._ready[pcpu_index]
+        if not queue:
+            return None
+        nxt = queue.popleft()
+        self._running[pcpu_index] = nxt
+        self.switches += 1
+        return nxt
+
     def forget(self, vcpu: VCpu) -> None:
         """Remove a vCPU entirely (shutdown)."""
         idx = vcpu.pcpu.index

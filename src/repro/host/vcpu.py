@@ -28,6 +28,8 @@ class VcpuState(enum.Enum):
     HALTED = "halted"
     #: Runnable but waiting for a physical CPU (overcommit only).
     READY = "ready"
+    #: Frozen by a VM-wide suspend; thawed by resume/restore.
+    SUSPENDED = "suspended"
     #: Shut down.
     OFF = "off"
 

@@ -120,6 +120,36 @@ class LapicTimer:
         self._disarm_event()
         self.mode = None
 
+    # ----------------------------------------------------- suspend support
+
+    def pause(self) -> Optional[int]:
+        """Stop this timer's clock, preserving its phase.
+
+        Returns the nanoseconds that remained until expiry (to hand to
+        :meth:`resume`), or None if nothing was pending. The programmed
+        mode and period survive, exactly like a LAPIC whose core clock
+        is gated during a VM-wide suspend.
+        """
+        if not self.armed:
+            return None
+        remaining = self._event.time - self._sim.now  # type: ignore[union-attr]
+        self._disarm_event()
+        return remaining
+
+    def resume(self, remaining_ns: int) -> None:
+        """Re-arm a paused timer ``remaining_ns`` from now, same mode.
+
+        The suspended span is host time the guest never sees: the timer
+        picks up where :meth:`pause` left it rather than replaying the
+        expiries the span swallowed.
+        """
+        if remaining_ns < 0:
+            raise HardwareError(f"{self.name}: negative resume remainder {remaining_ns}")
+        if self.mode is None:
+            raise HardwareError(f"{self.name}: resume but no mode was paused")
+        self._arm_at(self._sim.now + remaining_ns)
+        self._trace_arm(self._sim.now + remaining_ns)
+
     def _arm_at(self, when: int) -> None:
         # The one Event handle lives as long as the timer: after the
         # first arm, every reprogram/expiry cycle goes through the

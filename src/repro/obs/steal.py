@@ -108,9 +108,14 @@ class StealTracker(Tracer):
         errors: list[str] = []
         runtime: dict[str, tuple[int, int]] = {}
         for vm in hv.vms:
+            # Unplugged vCPUs retired their counters into the VM; a
+            # re-plugged index restarts at zero, so live adds on top.
+            for src, (ns, eps) in vm.retired_steal.items():
+                runtime[src] = (ns, eps)
             for vcpu in vm.vcpus:
                 src = f"{vcpu.vm_name}/vcpu{vcpu.index}"
-                runtime[src] = (vcpu.total_steal_ns, vcpu.steal_episodes)
+                base = runtime.get(src, (0, 0))
+                runtime[src] = (base[0] + vcpu.total_steal_ns, base[1] + vcpu.steal_episodes)
         for src, (run_ns, run_eps) in runtime.items():
             tr_ns = self.steal_ns.get(src, 0)
             tr_eps = self.episodes.get(src, 0)

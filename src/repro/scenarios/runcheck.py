@@ -1,0 +1,178 @@
+"""Run and check expanded scenario cells.
+
+Three entry points, all over the shared :class:`~repro.scenarios.matrix.Cell`
+representation (hand-written matrices and fuzz expansions alike):
+
+* :func:`check_cell` / :func:`check_cells` — serial **conformance** runs:
+  every cell executes under the full :class:`~repro.analysis.checkers.TickSanitizer`
+  (including the perturbation-aware suspend-span / restore-rearm /
+  hotplug checkers) with a :class:`~repro.obs.steal.StealTracker` teed
+  onto the same event stream, then goes through the reconcile battery.
+* :func:`run_cells` — throughput path: compile to specs and hand the
+  grid to :func:`repro.experiments.parallel.run_grid` (cache + workers).
+* :func:`identity_problems` — the determinism gate: the same cells run
+  serially, pooled, and from a warm cache must produce **byte-identical**
+  canonical metrics.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Optional
+
+from repro.analysis.checkers import TickSanitizer
+from repro.analysis.reconcile import reconcile_run
+from repro.config import MachineSpec
+from repro.errors import ReproError
+from repro.experiments.parallel import GridResult, RunSpec, _keep_timer, run_grid
+from repro.metrics.perf import RunMetrics
+from repro.scenarios.matrix import Cell
+
+
+@dataclass
+class CellCheck:
+    """Outcome of one sanitized cell run."""
+
+    cell: Cell
+    metrics: Optional[RunMetrics]
+    problems: list[str]
+    events: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+
+def check_cell(cell: Cell) -> CellCheck:
+    """Execute one cell serially under the sanitizer + reconcile battery.
+
+    Mirrors :func:`repro.experiments.parallel.execute_spec` (costs,
+    keep-timer policy, horizon default) but wraps the run in the tracer
+    stack the fuzz harness uses, so matrix cells and fuzz scenarios are
+    checked to exactly the same standard.
+    """
+    from repro.experiments.runner import DEFAULT_HORIZON_NS, run_workload
+    from repro.host.costs import DEFAULT_COSTS
+    from repro.obs.steal import StealTracker
+    from repro.sim.trace import TeeTracer
+
+    spec = cell.spec
+    sanitizer = TickSanitizer(mode=spec.tick_mode)
+    steal = StealTracker()
+    internals: dict = {}
+
+    def inspect(sim, machine, hv, vm) -> None:
+        internals["machine"] = machine
+        internals["now"] = sim.now
+        internals["hv"] = hv
+
+    costs = DEFAULT_COSTS
+    if spec.cost_overrides:
+        costs = costs.with_overrides(**dict(spec.cost_overrides))
+    try:
+        with _keep_timer(spec.keep_timer_on_idle_exit):
+            metrics = run_workload(
+                spec.workload.build(),
+                tick_mode=spec.tick_mode,
+                vcpus=spec.vcpus,
+                pinned_cpus=spec.pinned_cpus,
+                machine_spec=spec.machine,
+                features=spec.features,
+                costs=costs,
+                tick_hz=spec.tick_hz,
+                seed=spec.seed,
+                noise=spec.noise,
+                cpuidle=spec.cpuidle,
+                device_kind=spec.device_kind,
+                horizon_ns=spec.horizon_ns if spec.horizon_ns is not None else DEFAULT_HORIZON_NS,
+                label=spec.label or cell.id,
+                perturbations=spec.perturbations,
+                tracer=TeeTracer(sanitizer, steal),
+                inspect=inspect,
+            )
+    except ReproError as exc:
+        sanitizer.finish()
+        return CellCheck(cell, None, [f"run failed: {type(exc).__name__}: {exc}"],
+                         events=sanitizer.events)
+    problems = [str(v) for v in sanitizer.finish()]
+    machine_spec = spec.machine if spec.machine is not None else MachineSpec()
+    problems += reconcile_run(
+        sanitizer, metrics,
+        freq_hz=machine_spec.freq_hz,
+        machine=internals.get("machine"),
+        now_ns=internals.get("now"),
+        steal_tracker=steal,
+        hv=internals.get("hv"),
+    )
+    return CellCheck(cell, metrics, problems, events=sanitizer.events)
+
+
+def check_cells(
+    cells: Iterable[Cell],
+    *,
+    progress: Optional[Callable[[CellCheck], None]] = None,
+) -> list[CellCheck]:
+    """Sanitize every cell; ``progress(check)`` is called per cell."""
+    checks = []
+    for cell in cells:
+        check = check_cell(cell)
+        checks.append(check)
+        if progress is not None:
+            progress(check)
+    return checks
+
+
+def run_cells(cells: Iterable[Cell], **grid_kwargs: Any) -> GridResult:
+    """Run cells through the parallel engine (cache, workers, retries)."""
+    return run_grid([c.spec for c in cells], **grid_kwargs)
+
+
+def canonical_result_bytes(result: Any) -> bytes:
+    """Deterministic byte encoding of a run result (identity compares)."""
+    from repro.experiments.parallel import encode_result
+
+    return json.dumps(encode_result(result), sort_keys=True,
+                      separators=(",", ":")).encode()
+
+
+def identity_problems(
+    cells: list[Cell],
+    *,
+    jobs: int = 2,
+    cache_dir: str,
+    progress: Optional[Callable[[Any], None]] = None,
+) -> list[str]:
+    """Check serial / pooled / cached execution agree byte-for-byte.
+
+    Runs the grid three ways — serially without a cache, pooled without
+    a cache, and pooled into ``cache_dir`` followed by a serial pass
+    that must be served entirely from that cache — and compares each
+    cell's canonical result bytes across all four readings.
+    """
+    specs = [c.spec for c in cells]
+    serial = run_grid(specs, jobs=None, use_cache=False, progress=progress).raise_if_failed()
+    pooled = run_grid(specs, jobs=jobs, use_cache=False, progress=progress).raise_if_failed()
+    warm = run_grid(specs, jobs=jobs, cache_dir=cache_dir,
+                    use_cache=True, progress=progress).raise_if_failed()
+    cached = run_grid(specs, jobs=None, cache_dir=cache_dir,
+                      use_cache=True, progress=progress).raise_if_failed()
+
+    problems: list[str] = []
+    if cached.cache_hits != len(set(specs)):
+        problems.append(
+            f"cache replay served {cached.cache_hits}/{len(set(specs))} "
+            f"cells from the store"
+        )
+    for cell in cells:
+        readings = {
+            "serial": canonical_result_bytes(serial[cell.spec]),
+            "pooled": canonical_result_bytes(pooled[cell.spec]),
+            "warm": canonical_result_bytes(warm[cell.spec]),
+            "cached": canonical_result_bytes(cached[cell.spec]),
+        }
+        reference = readings.pop("serial")
+        for name, blob in readings.items():
+            if blob != reference:
+                problems.append(f"{cell.id}: {name} result differs from serial run")
+    return problems

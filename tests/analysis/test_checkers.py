@@ -341,6 +341,7 @@ class TestSanitizerPlumbing:
         assert names == {
             "schema", "vcpu-state", "preemption-timer", "lapic",
             "guest-deadline", "tick-sched", "inject",
+            "suspend-span", "restore-rearm", "hotplug",
         }
 
     def test_exit_tally_counts_vmexits(self):
@@ -350,3 +351,166 @@ class TestSanitizerPlumbing:
             (2, VCPU, "vmexit", ("msr_write", "timer_program")),
         ])
         assert s.exit_tally == {("hlt", "idle"): 2, ("msr_write", "timer_program"): 1}
+
+
+VM = "vm0"
+VLAPIC = "vm0/vcpu0/vlapic"
+
+
+class TestSuspendSpanMutations:
+    def test_tick_inside_suspend_window(self):
+        # LAPIC legally armed before the freeze, but the expiry lands
+        # inside the suspended span: only suspend-span may fire.
+        s = run_stream([
+            (0, VLAPIC, "lapic_arm", ("oneshot", 100)),
+            (50, VM, "vm_suspend", None),
+            (100, VLAPIC, "lapic_fire", ("oneshot", V236)),
+        ])
+        assert firing(s) == {"suspend-span"}
+
+    def test_vmexit_inside_suspend_window(self):
+        s = run_stream([
+            (0, VM, "vm_suspend", None),
+            (10, VCPU, "vmexit", ("hlt", "idle")),
+        ])
+        assert firing(s) == {"suspend-span"}
+
+    def test_double_suspend(self):
+        s = run_stream([
+            (0, VM, "vm_suspend", None),
+            (1, VM, "vm_suspend", None),
+        ])
+        assert firing(s) == {"suspend-span"}
+
+    def test_resume_without_suspend(self):
+        s = run_stream([(0, VM, "vm_resume", 5)])
+        assert firing(s) == {"suspend-span"}
+
+    def test_fire_after_resume_is_legal(self):
+        s = run_stream([
+            (0, VLAPIC, "lapic_arm", ("oneshot", 100)),
+            (50, VM, "vm_suspend", None),
+            (80, VM, "vm_resume", 30),
+            (100, VLAPIC, "lapic_fire", ("oneshot", V236)),
+        ])
+        assert s.violations == []
+
+    def test_suspend_edge_may_retire_inflight_work(self):
+        # Same-instant activity at the suspend edge is the in-flight
+        # exit the freeze itself processes — strictly later is illegal.
+        s = run_stream([
+            (50, VM, "vm_suspend", None),
+            (50, VCPU, "vmexit", ("hlt", "idle")),
+        ])
+        assert s.violations == []
+
+    def test_other_vms_keep_running(self):
+        s = run_stream([
+            (0, "vm0", "vm_suspend", None),
+            (10, "vm1/vcpu0", "vmexit", ("hlt", "idle")),
+        ])
+        assert s.violations == []
+
+    def test_open_span_at_end_of_run_is_legal(self):
+        s = run_stream([(0, VM, "vm_suspend", None)])
+        assert s.violations == []
+
+
+class TestRestoreMonotonicMutations:
+    def test_stale_pre_restore_deadline(self):
+        s = run_stream([
+            (0, VCPU, "deadline_set", 100),
+            (500, VM, "vm_restore", 450),
+            (510, VCPU, "deadline_set", 400),  # expiry in the pre-jump past
+        ])
+        assert firing(s) == {"restore-rearm"}
+
+    def test_stale_host_standin_arm(self):
+        s = run_stream([
+            (500, VM, "vm_restore", 450),
+            (510, VCPU, "hostdl_arm", 400),
+        ])
+        assert firing(s) == {"restore-rearm"}
+
+    def test_stale_preemption_timer_start(self):
+        s = run_stream([
+            (500, VM, "vm_restore", 450),
+            (510, VCPU, "ptimer_start", 400),
+        ])
+        assert firing(s) == {"restore-rearm"}
+
+    def test_stale_lapic_arm(self):
+        s = run_stream([
+            (500, VM, "vm_restore", 450),
+            (510, VLAPIC, "lapic_arm", ("oneshot", 400)),
+        ])
+        assert firing(s) == {"restore-rearm"}
+
+    def test_monotone_rearm_after_restore_is_legal(self):
+        s = run_stream([
+            (0, VCPU, "deadline_set", 100),
+            (500, VM, "vm_restore", 450),
+            (510, VCPU, "deadline_set", 700),
+            (700, VCPU, "deadline_fire", (700, "ptimer")),
+        ])
+        assert s.violations == []
+
+    def test_rearm_at_restore_instant_is_legal(self):
+        s = run_stream([
+            (500, VM, "vm_restore", 450),
+            (500, VCPU, "hostdl_arm", 500),
+        ])
+        assert s.violations == []
+
+    def test_deadlines_before_restore_unchecked(self):
+        s = run_stream([(0, VCPU, "deadline_set", 100)])
+        assert s.violations == []
+
+
+class TestHotplugMutations:
+    def test_double_hotplug(self):
+        s = run_stream([
+            (0, VM, "vcpu_hotplug", 1),
+            (1, VM, "vcpu_hotplug", 1),
+        ])
+        assert firing(s) == {"hotplug"}
+
+    def test_hotplug_of_booted_vcpu(self):
+        s = run_stream([
+            (0, "vm0/vcpu1", "vcpu_state", ("init", "exited")),
+            (5, VM, "vcpu_hotplug", 1),
+        ])
+        assert firing(s) == {"hotplug"}
+
+    def test_hotplugged_vcpu_must_boot_via_init(self):
+        # exited -> guest is a legal state-machine step, but not a boot:
+        # only the hotplug checker may object.
+        s = run_stream([
+            (0, VM, "vcpu_hotplug", 1),
+            (5, "vm0/vcpu1", "vcpu_state", ("exited", "guest")),
+        ])
+        assert firing(s) == {"hotplug"}
+
+    def test_unplug_of_absent_vcpu(self):
+        s = run_stream([(0, VM, "vcpu_unplug", 3)])
+        assert firing(s) == {"hotplug"}
+
+    def test_state_change_after_unplug(self):
+        s = run_stream([
+            (0, VM, "vcpu_hotplug", 1),
+            (1, "vm0/vcpu1", "vcpu_state", ("init", "exited")),
+            (2, VM, "vcpu_unplug", 1),
+            (3, "vm0/vcpu1", "vcpu_state", ("exited", "guest")),
+        ])
+        assert firing(s) == {"hotplug"}
+
+    def test_full_hotplug_lifecycle_is_legal(self):
+        s = run_stream([
+            (0, VM, "vcpu_hotplug", 1),
+            (1, "vm0/vcpu1", "vcpu_state", ("init", "exited")),
+            (2, "vm0/vcpu1", "vcpu_state", ("exited", "guest")),
+            (3, "vm0/vcpu1", "vcpu_state", ("guest", "exited")),
+            (4, VM, "vcpu_unplug", 1),
+            (5, "vm0/vcpu1", "vcpu_state", ("exited", "off")),
+        ])
+        assert s.violations == []

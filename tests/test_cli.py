@@ -81,7 +81,7 @@ class TestSanitizerCommands:
         from repro.analysis import fuzz as fuzz_mod
         from repro.analysis.fuzz import FuzzReport, scenario_for_seed
 
-        def fake_fuzz_many(seeds, *, placements, progress=None):
+        def fake_fuzz_many(seeds, *, placements, perturb=False, progress=None):
             reports = []
             for seed in seeds:
                 r = FuzzReport(seed=seed, scenario=scenario_for_seed(seed),
