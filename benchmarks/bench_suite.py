@@ -177,6 +177,49 @@ def bench_syncstorm_smoke() -> dict:
     return out
 
 
+def bench_fleet_host_smoke() -> dict:
+    """End-to-end fleet shard: one overcommitted host packing 6 guests
+    at oc4 with poisson arrivals, paratick mode.
+
+    This is the unit the fleet layer fans out per host — its wall clock
+    bounds how fast a rack sweeps through ``repro.experiments.parallel``.
+    Like syncstorm_smoke, ops/sec is dispatched engine events per
+    second and the bench records trajectory without gating.
+    """
+    from repro.config import TickMode
+    from repro.fleet.hostsim import run_host
+    from repro.sim.timebase import MSEC
+
+    dispatched = 0
+
+    def grab(sim, machine, hv, vms) -> None:
+        nonlocal dispatched
+        dispatched = sim.dispatched
+
+    def run() -> int:
+        metrics = run_host(
+            guest_kind="micro.pingpong",
+            guest_params={"rounds": 10, "work_cycles": 20_000,
+                          "same_vcpu": False},
+            guests=6,
+            consolidation=4,
+            tick_mode=TickMode.PARATICK,
+            burst="poisson",
+            burst_window_ns=2 * MSEC,
+            seed=7,
+            horizon_ns=400 * MSEC,
+            inspect=grab,
+        )
+        return metrics.exits.total
+
+    out = _time_best(run, ops=None, repeats=3)
+    out["ops"] = dispatched
+    out["ops_per_sec"] = round(dispatched / out["wall_s"], 1)
+    out["dispatched"] = dispatched
+    out["gate"] = False
+    return out
+
+
 BENCHES: dict[str, Callable[[], dict]] = {
     "event_queue_throughput": bench_event_queue_throughput,
     "rearm_churn": bench_rearm_churn,
@@ -184,6 +227,7 @@ BENCHES: dict[str, Callable[[], dict]] = {
     "timer_wheel_churn": bench_timer_wheel_churn,
     "hrtimer_queue_churn": bench_hrtimer_queue_churn,
     "syncstorm_smoke": bench_syncstorm_smoke,
+    "fleet_host_smoke": bench_fleet_host_smoke,
 }
 
 

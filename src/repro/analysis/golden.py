@@ -45,6 +45,9 @@ DEFAULT_FIXTURE = Path("tests/fixtures/golden_simcore.json")
 #: Perturbation-conformance fixture (every kind x every tick mode).
 PERTURB_FIXTURE = Path("tests/fixtures/golden_perturb.json")
 
+#: Fleet battery fixture (3 tick modes x 2 consolidation ratios).
+FLEET_FIXTURE = Path("tests/fixtures/golden_fleet.json")
+
 #: Seeds covered by the fuzz-equivalence section.
 FUZZ_SEEDS = tuple(range(20))
 
@@ -264,6 +267,103 @@ def compare_perturb(path: Path = PERTURB_FIXTURE, progress=None) -> list[str]:
     return problems
 
 
+# ------------------------------------------------------- fleet battery
+
+
+def fleet_cases():
+    """(case name, FleetSpec) pairs: 2 consolidation ratios x 3 modes.
+
+    Small racks (2 hosts x 4 guests) with a poisson arrival burst — the
+    profile that exercises the dedicated ``fleet.burst`` RNG stream, so
+    the fixture pins the arrival sampling as well as the multi-VM
+    scheduling. ``oc2`` is mild contention, ``oc8`` is the saturated
+    regime (all guests time-slicing one pCPU).
+    """
+    from repro.experiments.parallel import WorkloadSpec
+    from repro.fleet.spec import FleetSpec
+
+    guest = WorkloadSpec.make(
+        "micro.pingpong", rounds=15, work_cycles=30_000, same_vcpu=False
+    )
+    for oc in (2, 8):
+        for mode in TickMode:
+            yield f"oc{oc}/{mode.value}", FleetSpec(
+                name=f"golden-fleet-oc{oc}",
+                workload=guest,
+                tick_mode=mode,
+                hosts=2,
+                guests_per_host=4,
+                consolidation=oc,
+                burst="poisson",
+                burst_window_ns=2 * MSEC,
+                seed=9,
+                horizon_ns=400 * MSEC,
+                label_parts=(mode.value,),
+            )
+
+
+def run_fleet_case(fleet) -> dict:
+    """One fleet case, serially: per-host digests + the fleet aggregate.
+
+    Hosts run through :func:`repro.fleet.hostsim.execute_fleet_spec`
+    directly (no pool, no cache) — the identity gate separately proves
+    the engine paths match this serial reference byte-for-byte.
+    """
+    from repro.fleet.aggregate import aggregate_hosts, fleet_bytes
+    from repro.fleet.hostsim import execute_fleet_spec
+
+    metrics = [execute_fleet_spec(spec)[0] for spec in fleet.host_specs()]
+    agg = aggregate_hosts(metrics)
+    return {
+        "aggregate": agg.to_json_dict(),
+        "aggregate_sha256": hashlib.sha256(fleet_bytes(agg)).hexdigest(),
+        "hosts": {m.label: metrics_digest(m) for m in metrics},
+    }
+
+
+def run_fleet_battery(progress: Optional[Callable[[str], None]] = None) -> dict:
+    cases: dict[str, dict] = {}
+    for name, fleet in fleet_cases():
+        cases[name] = run_fleet_case(fleet)
+        if progress is not None:
+            progress(name)
+    return {"schema": SCHEMA, "cases": cases}
+
+
+def capture_fleet(path: Path = FLEET_FIXTURE, progress=None) -> dict:
+    payload = run_fleet_battery(progress)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    return payload
+
+
+def compare_fleet(path: Path = FLEET_FIXTURE, progress=None) -> list[str]:
+    """Replay the fleet battery against its fixture."""
+    golden = load(path)
+    fresh = run_fleet_battery(progress)
+    problems: list[str] = []
+    for key, want in golden["cases"].items():
+        got = fresh["cases"].get(key)
+        if got is None:
+            problems.append(f"fleet case {key} missing from battery")
+            continue
+        if got["aggregate"] != want["aggregate"]:
+            diffs = [
+                f"{field}: {want['aggregate'][field]!r} -> {got['aggregate'][field]!r}"
+                for field in want["aggregate"]
+                if got["aggregate"].get(field) != want["aggregate"][field]
+            ]
+            problems.append(f"fleet {key}: aggregate diverged ({'; '.join(diffs)})")
+        for host, digest in want["hosts"].items():
+            fresh_digest = got["hosts"].get(host)
+            if fresh_digest != digest:
+                problems.append(f"fleet {key}: host {host} metrics diverged")
+    for key in fresh["cases"]:
+        if key not in golden["cases"]:
+            problems.append(f"fleet case {key} not pinned in fixture")
+    return problems
+
+
 # ------------------------------------------------------------ read/compare
 
 
@@ -325,16 +425,30 @@ def main(argv: Optional[list[str]] = None) -> int:
     ap.add_argument("--perturb", action="store_true",
                     help="operate on the perturbation battery "
                          f"(default fixture: {PERTURB_FIXTURE})")
+    ap.add_argument("--fleet", action="store_true",
+                    help="operate on the fleet battery "
+                         f"(default fixture: {FLEET_FIXTURE})")
     args = ap.parse_args(argv)
-    fixture = args.fixture or (PERTURB_FIXTURE if args.perturb else DEFAULT_FIXTURE)
+    if args.perturb and args.fleet:
+        ap.error("--perturb and --fleet are mutually exclusive")
+    if args.fleet:
+        fixture, do_capture, do_compare, name = (
+            FLEET_FIXTURE, capture_fleet, compare_fleet, "fleet battery")
+    elif args.perturb:
+        fixture, do_capture, do_compare, name = (
+            PERTURB_FIXTURE, capture_perturb, compare_perturb, "perturb battery")
+    else:
+        fixture, do_capture, do_compare, name = (
+            DEFAULT_FIXTURE, capture, compare, "golden battery")
+    if args.fixture is not None:
+        fixture = args.fixture
     if args.write:
-        (capture_perturb if args.perturb else capture)(fixture, progress=print)
+        do_capture(fixture, progress=print)
         print(f"wrote {fixture}")
         return 0
-    problems = (compare_perturb if args.perturb else compare)(fixture, progress=None)
+    problems = do_compare(fixture, progress=None)
     for p in problems:
         print(f"DIVERGED: {p}")
-    name = "perturb battery" if args.perturb else "golden battery"
     print(f"{name}:", "clean" if not problems else f"{len(problems)} divergences")
     return 1 if problems else 0
 

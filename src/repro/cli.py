@@ -346,6 +346,68 @@ def _cmd_matrix(args) -> int:
     return 0 if result.complete else 1
 
 
+def _cmd_fleet(args) -> int:
+    """Run a fleet matrix through the engine and print rack aggregates."""
+    import json
+
+    from repro.fleet import FLEET_HOST, aggregate_hosts
+    from repro.fleet.report import format_fleet_table, report_lines
+    from repro.fleet.run import group_host_cells, identity_problems_for_groups
+    from repro.scenarios import load_matrix, run_cells
+
+    mx = load_matrix(args.file)
+    cells = mx.expand()
+    groups = group_host_cells(cells)
+    if not groups:
+        print(f"{mx.name}: no fleet cells — add a [fleets.*] table and put "
+              f"its name on the [axes] fleet axis", file=sys.stderr)
+        return 1
+    fleet_cells = [c for c in cells if c.spec.workload.kind == FLEET_HOST]
+
+    result = run_cells(fleet_cells, **_engine_kwargs(args))
+    if result.failed_specs:
+        for failed in result.failed_specs:
+            print(f"[FAIL] {failed.spec.display_label()}: {failed.error}")
+        print(f"\n{mx.name}: {len(result.failed_specs)}/{len(fleet_cells)} "
+              f"host shards failed")
+        return 1
+    artifacts = {result.results[s].label: art
+                 for s, art in result.artifacts.items()}
+    aggregates = {
+        key: aggregate_hosts([result.results[s] for s in specs],
+                             artifacts or None)
+        for key, specs in groups.items()
+    }
+
+    if args.json:
+        print(json.dumps({k: a.to_json_dict() for k, a in aggregates.items()},
+                         indent=2, sort_keys=True))
+    elif args.action == "report":
+        for chunk in report_lines(aggregates):
+            print(chunk)
+    else:
+        print(format_fleet_table(aggregates))
+        print(f"\n{mx.name}: {len(groups)} fleet(s), {len(fleet_cells)} host "
+              f"shards, {result.cache_hits} cached, {result.executed} executed")
+
+    if args.identity:
+        import tempfile
+
+        with tempfile.TemporaryDirectory(prefix="repro-fleet-id-") as td:
+            problems = identity_problems_for_groups(
+                groups, jobs=args.jobs or 2, cache_dir=td,
+                progress=_progress_printer(args),
+            )
+        if problems:
+            print(f"\nidentity check FAILED ({len(problems)} problems):")
+            for p in problems:
+                print(f"  {p}")
+            return 1
+        print("identity check: serial == pooled == cached == order-shuffled "
+              "(byte-identical)")
+    return 0
+
+
 def _make_obs(args):
     """Observability bundle for ``run``/``perf``-style commands."""
     from repro.obs import ObsConfig, Observability
@@ -565,6 +627,21 @@ def build_parser() -> argparse.ArgumentParser:
                     help="after run: verify serial, pooled and cached results "
                          "are byte-identical")
     mx.set_defaults(fn=_cmd_matrix)
+
+    fl = sub.add_parser(
+        "fleet", help="fleet-scale overcommit: run host shards, aggregate racks"
+    )
+    fl.add_argument("action", choices=["run", "report"],
+                    help="run: summary table; report: full percentile "
+                         "distributions per fleet")
+    fl.add_argument("file", help="matrix file with a [fleets.*] axis "
+                                 "(.toml / .yaml / .yml)")
+    fl.add_argument("--identity", action="store_true",
+                    help="additionally verify serial, pooled, cached and "
+                         "order-shuffled aggregates are byte-identical")
+    fl.add_argument("--json", action="store_true",
+                    help="emit the fleet aggregates as JSON on stdout")
+    fl.set_defaults(fn=_cmd_fleet)
 
     run = sub.add_parser("run", help="run one PARSEC model and print its profile")
     run.add_argument("benchmark", choices=list(parsec.BENCHMARK_NAMES))

@@ -108,6 +108,11 @@ _register_defaults()
 #: (a multi-VM scenario, not a single-VM Workload).
 OVERCOMMIT_IDLE = "overcommit.idle"
 
+#: Special kind executed by :func:`repro.fleet.hostsim.run_host` — one
+#: host of a fleet (multi-VM, burst arrivals), sharded per host so a
+#: rack fans out across the pool like any other grid.
+FLEET_HOST = "fleet.host"
+
 
 @dataclass(frozen=True)
 class WorkloadSpec:
@@ -285,6 +290,11 @@ def execute_spec_obs(spec: RunSpec) -> tuple[Any, Optional[dict]]:
             spec.tick_mode, seed=spec.seed, **spec.workload.kwargs()
         )
         return result, None
+
+    if spec.workload.kind == FLEET_HOST:
+        from repro.fleet.hostsim import execute_fleet_spec
+
+        return execute_fleet_spec(spec)
 
     from repro.experiments.runner import DEFAULT_HORIZON_NS, run_workload
     from repro.host.costs import DEFAULT_COSTS

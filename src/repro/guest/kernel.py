@@ -187,7 +187,18 @@ class GuestKernel:
     # ------------------------------------------------------- small helpers
 
     def now(self) -> int:
-        return self.sim.now
+        """The guest's clock: host time plus any drift perturbation.
+
+        Everything the kernel model does with time — tick-boundary
+        arithmetic, hrtimer expiry checks, deadline programming — reads
+        this clock, so a drifted guest stays self-consistent: it
+        programs deadlines on its own timeline and the hypervisor's
+        ``TSC_DEADLINE`` handler translates them back to host time.
+        Reading ``sim.now`` here instead desynchronizes the two views
+        and a drift of a full tick period turns every timer IRQ into a
+        spurious one (the guest's clock says "not yet" forever).
+        """
+        return self.sim.now + self.vm.guest_clock_offset_ns
 
     def ctx(self, vidx: int) -> VcpuCtx:
         return self._ctx[vidx]

@@ -293,10 +293,14 @@ class Hypervisor:
     def drift_guest_clock(self, vm: VirtualMachine, delta_ns: int) -> None:
         """Step the guest's clock offset by ``delta_ns`` (signed).
 
-        Models paravirtual-clock drift between host and guest: deadline
-        values the guest computes from its own clock land ``offset``
-        earlier (positive drift: guest clock runs ahead) on the host
-        timeline, clamped so a deadline never lands in the host's past.
+        Models paravirtual-clock drift between host and guest: the
+        guest's clock (``GuestKernel.now``) runs ``offset`` ahead of the
+        host's, so deadline values it computes land ``offset`` earlier
+        on the host timeline (translated in ``_apply_deadline``, clamped
+        so a deadline never lands in the host's past). Deadlines already
+        armed in hardware keep their old translation — like a real TSC
+        write racing an offset update, the step applies from the next
+        programming on.
         """
         vm.guest_clock_offset_ns += delta_ns
         if self.sim.trace.enabled:

@@ -33,8 +33,11 @@ class RunMetrics:
     exits: ExitCounters
     #: Busy-ns ledger by domain.
     ledger: dict[CycleDomain, int] = field(default_factory=dict)
-    #: Free-form extras (per-workload throughput units, iteration counts).
-    extra: dict[str, float] = field(default_factory=dict)
+    #: Free-form extras (per-workload throughput units, iteration
+    #: counts). Nanosecond and count extras are exact ints and must stay
+    #: ints through any merge (see :func:`repro.metrics.aggregate.merge_run_metrics`);
+    #: floats are reserved for genuine rates/ratios.
+    extra: dict[str, "int | float | str"] = field(default_factory=dict)
 
     @property
     def total_exits(self) -> int:

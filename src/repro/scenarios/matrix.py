@@ -1,8 +1,8 @@
 """Scenario-matrix DSL: declarative experiment grids with perturbations.
 
-A *matrix file* (TOML or YAML) names options along six axes —
+A *matrix file* (TOML or YAML) names options along seven axes —
 
-    workload x mode x placement x stress x host_timer x perturb
+    workload x mode x placement x stress x host_timer x perturb x fleet
 
 — plus a seed list, and expands their Cartesian product into
 :class:`Cell` objects, each carrying a stable human-readable **cell ID**
@@ -49,10 +49,21 @@ Axis options resolve through *named definition tables* (``[workloads.X]``,
 * ``perturb`` — ``none``, or a ``[perturbs.X]`` table holding one
   perturbation's fields (or ``events = [...]`` for a schedule).
   Durations accept ``_ns`` / ``_us`` / ``_ms`` suffixes.
+* ``fleet`` — ``none`` (single-VM cells, the default), or a
+  ``[fleets.X]`` table (``hosts``, ``guests``, ``consolidation``,
+  ``burst``, optional ``burst_window_ms``/``burst_waves``). A fleet
+  option fans the cell into ``hosts`` independent host shards — cell
+  IDs gain a ``/h<NN>`` suffix and each shard compiles to one
+  ``fleet.host`` spec riding the same cache keys, pool, and sanitizer
+  battery as every other cell. Fleet cells require the ``solo``
+  placement (the host's physical CPU count comes from the
+  consolidation ratio); pair other placements with fleets via
+  ``[[exclude]]``.
 
 ``[[exclude]]`` tables remove cells whose coordinates match *all* the
 given ``axis = "option"`` pairs. Expansion order is deterministic:
-axes in the fixed order above, options in file order, seeds last.
+axes in the fixed order above, options in file order, seeds last,
+host shards innermost.
 
 The differential fuzzer's seed expansion compiles into the very same
 :class:`Cell` representation (:mod:`repro.scenarios.fuzzbridge`), so
@@ -75,7 +86,7 @@ from repro.host.perturb import Perturbation
 from repro.sim.timebase import MSEC, USEC
 
 #: Fixed axis order (expansion order and cell-ID part order).
-AXES = ("workload", "mode", "placement", "stress", "host_timer", "perturb")
+AXES = ("workload", "mode", "placement", "stress", "host_timer", "perturb", "fleet")
 
 #: Axes that always contribute a cell-ID part, even with one option.
 ALWAYS_IN_ID = ("workload", "mode")
@@ -159,7 +170,8 @@ class Matrix:
         if unknown:
             raise ConfigError(f"{origin}: unknown axes {sorted(unknown)} (know {AXES})")
         defaults = {"placement": ["solo"], "stress": ["none"],
-                    "host_timer": ["hz250"], "perturb": ["none"]}
+                    "host_timer": ["hz250"], "perturb": ["none"],
+                    "fleet": ["none"]}
         self.axes: dict[str, tuple[str, ...]] = {}
         for axis in AXES:
             options = axes_doc.get(axis, defaults.get(axis))
@@ -177,6 +189,7 @@ class Matrix:
         self._stresses: dict = doc.get("stresses", {})
         self._host_timers: dict = doc.get("host_timers", {})
         self._perturbs: dict = doc.get("perturbs", {})
+        self._fleets: dict = doc.get("fleets", {})
         self.excludes: list[dict[str, str]] = []
         for ex in doc.get("exclude", []):
             if not isinstance(ex, dict) or not ex:
@@ -192,6 +205,7 @@ class Matrix:
         self._resolved_stress = {n: self._stress_def(n) for n in self.axes["stress"]}
         self._resolved_hz = {n: self._host_timer_def(n) for n in self.axes["host_timer"]}
         self._resolved_perturbs = {n: self._perturb_def(n) for n in self.axes["perturb"]}
+        self._resolved_fleets = {n: self._fleet_def(n) for n in self.axes["fleet"]}
         for name in self.axes["placement"]:
             self._placement_def(name)  # validates
 
@@ -264,6 +278,49 @@ class Matrix:
             f"or define [host_timers.{name}])"
         )
 
+    def _fleet_def(self, name: str) -> Optional[dict]:
+        """Resolve one fleet option; None means a plain single-VM cell."""
+        if name == "none":
+            return None
+        table = self._fleets.get(name)
+        if not isinstance(table, dict):
+            raise ConfigError(
+                f"{self.origin}: unknown fleet {name!r} "
+                f"(builtin: none; or define [fleets.{name}])"
+            )
+        from repro.fleet.spec import BURSTS, DEFAULT_BURST_WINDOW_NS
+
+        known = {
+            "hosts", "guests", "consolidation", "burst", "burst_waves",
+            "burst_window_ns", "burst_window_us", "burst_window_ms",
+        }
+        unknown = set(table) - known
+        if unknown:
+            raise ConfigError(
+                f"{self.origin}: unknown fleet fields {sorted(unknown)} "
+                f"in [fleets.{name}]"
+            )
+        fdef = {
+            "hosts": int(table.get("hosts", 4)),
+            "guests": int(table.get("guests", 8)),
+            "consolidation": int(table.get("consolidation", 4)),
+            "burst": str(table.get("burst", "burst")),
+            "burst_window_ns": _ns_field(
+                table, "burst_window", default=DEFAULT_BURST_WINDOW_NS
+            ),
+            "burst_waves": int(table.get("burst_waves", 4)),
+        }
+        if fdef["hosts"] < 1 or fdef["guests"] < 1 or fdef["consolidation"] < 1:
+            raise ConfigError(
+                f"{self.origin}: fleets.{name} needs hosts/guests/consolidation >= 1"
+            )
+        if fdef["burst"] not in BURSTS:
+            raise ConfigError(
+                f"{self.origin}: fleets.{name} has unknown burst "
+                f"{fdef['burst']!r} (know {BURSTS})"
+            )
+        return fdef
+
     def _perturb_def(self, name: str) -> tuple[Perturbation, ...]:
         table = self._perturbs.get(name)
         if isinstance(table, dict):
@@ -311,14 +368,30 @@ class Matrix:
                 if self._excluded(coords):
                     continue
                 cid = self.cell_id(coords)
-                if cid in seen:
-                    raise ConfigError(f"{self.origin}: duplicate cell id {cid!r}")
-                seen.add(cid)
-                cells.append(Cell(
-                    id=cid,
-                    coords=tuple(coords.items()),
-                    spec=self._compile(axis_coords, seed, cid),
-                ))
+                fdef = self._resolved_fleets[axis_coords["fleet"]]
+                if fdef is None:
+                    shards = [(cid, coords, self._compile(axis_coords, seed, cid))]
+                else:
+                    shards = [
+                        (
+                            f"{cid}/h{h:02d}",
+                            {**coords, "host": str(h)},
+                            self._compile_fleet(axis_coords, seed, fdef, h,
+                                                f"{cid}/h{h:02d}"),
+                        )
+                        for h in range(fdef["hosts"])
+                    ]
+                for shard_id, shard_coords, spec in shards:
+                    if shard_id in seen:
+                        raise ConfigError(
+                            f"{self.origin}: duplicate cell id {shard_id!r}"
+                        )
+                    seen.add(shard_id)
+                    cells.append(Cell(
+                        id=shard_id,
+                        coords=tuple(shard_coords.items()),
+                        spec=spec,
+                    ))
         return cells
 
     def _compile(self, coords: dict[str, str], seed: int, cid: str) -> RunSpec:
@@ -332,6 +405,39 @@ class Matrix:
             vcpus=nv,
             machine=machine,
             pinned_cpus=pinned,
+            tick_hz=self._resolved_hz[coords["host_timer"]],
+            noise=noise,
+            cpuidle=cpuidle,
+            horizon_ns=self.horizon_ns,
+            perturbations=self._resolved_perturbs[coords["perturb"]],
+            label=cid,
+        )
+
+    def _compile_fleet(
+        self, coords: dict[str, str], seed: int, fdef: dict, host: int, cid: str
+    ) -> RunSpec:
+        """One host shard of a fleet cell, as a ``fleet.host`` spec."""
+        from repro.fleet.spec import host_run_spec
+
+        if coords["placement"] != "solo":
+            raise ConfigError(
+                f"{self.origin}: fleet cells require the 'solo' placement "
+                f"(the host's pCPUs come from the consolidation ratio); "
+                f"exclude the ({coords['placement']!r}, "
+                f"{coords['fleet']!r}) combination with [[exclude]]"
+            )
+        ws, _nv = self._resolved_workloads[coords["workload"]]
+        noise, cpuidle = self._resolved_stress[coords["stress"]]
+        return host_run_spec(
+            guest_workload=ws,
+            guests=fdef["guests"],
+            consolidation=fdef["consolidation"],
+            tick_mode=TickMode(coords["mode"]),
+            burst=fdef["burst"],
+            burst_window_ns=fdef["burst_window_ns"],
+            burst_waves=fdef["burst_waves"],
+            host_index=host,
+            seed=seed,
             tick_hz=self._resolved_hz[coords["host_timer"]],
             noise=noise,
             cpuidle=cpuidle,

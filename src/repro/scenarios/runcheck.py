@@ -52,6 +52,7 @@ def check_cell(cell: Cell) -> CellCheck:
     stack the fuzz harness uses, so matrix cells and fuzz scenarios are
     checked to exactly the same standard.
     """
+    from repro.experiments.parallel import FLEET_HOST
     from repro.experiments.runner import DEFAULT_HORIZON_NS, run_workload
     from repro.host.costs import DEFAULT_COSTS
     from repro.obs.steal import StealTracker
@@ -72,25 +73,47 @@ def check_cell(cell: Cell) -> CellCheck:
         costs = costs.with_overrides(**dict(spec.cost_overrides))
     try:
         with _keep_timer(spec.keep_timer_on_idle_exit):
-            metrics = run_workload(
-                spec.workload.build(),
-                tick_mode=spec.tick_mode,
-                vcpus=spec.vcpus,
-                pinned_cpus=spec.pinned_cpus,
-                machine_spec=spec.machine,
-                features=spec.features,
-                costs=costs,
-                tick_hz=spec.tick_hz,
-                seed=spec.seed,
-                noise=spec.noise,
-                cpuidle=spec.cpuidle,
-                device_kind=spec.device_kind,
-                horizon_ns=spec.horizon_ns if spec.horizon_ns is not None else DEFAULT_HORIZON_NS,
-                label=spec.label or cell.id,
-                perturbations=spec.perturbations,
-                tracer=TeeTracer(sanitizer, steal),
-                inspect=inspect,
-            )
+            if spec.workload.kind == FLEET_HOST:
+                # A fleet host shard: the same tracer stack and the same
+                # battery, over the multi-VM host simulation.
+                from repro.fleet.hostsim import run_host
+                from repro.fleet.spec import fleet_params
+
+                metrics = run_host(
+                    tick_mode=spec.tick_mode,
+                    seed=spec.seed,
+                    tick_hz=spec.tick_hz,
+                    noise=spec.noise,
+                    cpuidle=spec.cpuidle,
+                    costs=costs,
+                    features=spec.features,
+                    horizon_ns=spec.horizon_ns,
+                    label=spec.label or cell.id,
+                    perturbations=spec.perturbations,
+                    tracer=TeeTracer(sanitizer, steal),
+                    inspect=inspect,
+                    **fleet_params(spec),
+                )
+            else:
+                metrics = run_workload(
+                    spec.workload.build(),
+                    tick_mode=spec.tick_mode,
+                    vcpus=spec.vcpus,
+                    pinned_cpus=spec.pinned_cpus,
+                    machine_spec=spec.machine,
+                    features=spec.features,
+                    costs=costs,
+                    tick_hz=spec.tick_hz,
+                    seed=spec.seed,
+                    noise=spec.noise,
+                    cpuidle=spec.cpuidle,
+                    device_kind=spec.device_kind,
+                    horizon_ns=spec.horizon_ns if spec.horizon_ns is not None else DEFAULT_HORIZON_NS,
+                    label=spec.label or cell.id,
+                    perturbations=spec.perturbations,
+                    tracer=TeeTracer(sanitizer, steal),
+                    inspect=inspect,
+                )
     except ReproError as exc:
         sanitizer.finish()
         return CellCheck(cell, None, [f"run failed: {type(exc).__name__}: {exc}"],

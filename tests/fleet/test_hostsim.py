@@ -1,0 +1,117 @@
+"""The per-host multi-VM shard: packing, arrivals, extras, perturbations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import TickMode
+from repro.errors import WorkloadError
+from repro.fleet.hostsim import run_host
+from repro.fleet.spec import arrival_schedule, host_sim_seed
+from repro.host.perturb import Perturbation
+from repro.sim.timebase import MSEC
+
+
+def run(guests=3, consolidation=2, mode=TickMode.PARATICK, **kw):
+    base = dict(
+        guest_kind="micro.pingpong",
+        guest_params={"rounds": 5, "work_cycles": 10_000, "same_vcpu": False},
+        guests=guests,
+        consolidation=consolidation,
+        tick_mode=mode,
+        horizon_ns=400 * MSEC,
+    )
+    base.update(kw)
+    return run_host(**base)
+
+
+class TestPacking:
+    def test_pcpus_is_ceil_of_vcpus_over_ratio(self):
+        # 3 guests x 2 vCPUs at oc2 -> ceil(6/2) = 3 pCPUs
+        m = run(guests=3, consolidation=2)
+        assert m.extra["vcpus"] == 6
+        assert m.extra["pcpus"] == 3
+
+    def test_saturated_ratio_floors_at_one_pcpu(self):
+        m = run(guests=2, consolidation=16)
+        assert m.extra["pcpus"] == 1
+        assert m.extra["steal_ns"] > 0  # everyone time-slices one core
+
+    def test_topology_extras(self):
+        m = run(guests=2, consolidation=4, host_index=5, seed=9)
+        assert m.extra["guests"] == 2
+        assert m.extra["consolidation"] == 4
+        assert m.extra["host_index"] == 5
+        # the fleet seed as given; the simulator seed is the pure
+        # derivation host_sim_seed(seed, host_index)
+        assert m.extra["seed"] == 9
+        assert host_sim_seed(9, 5) != 9
+
+
+class TestArrivals:
+    def test_ramp_offsets_recorded_per_guest(self):
+        window = 2 * MSEC
+        m = run(guests=4, burst="ramp", burst_window_ns=window)
+        want = arrival_schedule("ramp", 4, window_ns=window)
+        got = tuple(m.extra[f"g{g:02d}_arrival_ns"] for g in range(4))
+        assert got == want
+
+    def test_latency_is_arrival_to_completion(self):
+        m = run(guests=3, burst="ramp", burst_window_ns=2 * MSEC)
+        for g in range(3):
+            arrival = m.extra[f"g{g:02d}_arrival_ns"]
+            done = m.extra[f"g{g:02d}_done_ns"]
+            lat = m.extra[f"g{g:02d}_latency_ns"]
+            assert done >= arrival
+            assert lat == done - arrival
+            assert isinstance(lat, int)
+
+    def test_burst_profile_changes_the_simulation(self):
+        herd = run(guests=4, burst="burst")
+        ramp = run(guests=4, burst="ramp", burst_window_ns=4 * MSEC)
+        assert herd.exec_time_ns != ramp.exec_time_ns
+
+    def test_same_inputs_bit_identical(self):
+        a, b = run(burst="poisson", seed=3), run(burst="poisson", seed=3)
+        assert a.to_json_dict() == b.to_json_dict()
+
+    def test_host_index_decorrelates_poisson_hosts(self):
+        a = run(burst="poisson", host_index=0, seed=3)
+        b = run(burst="poisson", host_index=1, seed=3)
+        got_a = tuple(a.extra[f"g{g:02d}_arrival_ns"] for g in range(3))
+        got_b = tuple(b.extra[f"g{g:02d}_arrival_ns"] for g in range(3))
+        assert got_a != got_b
+
+
+class TestLimitsAndErrors:
+    def test_horizon_miss_names_the_stuck_guest(self):
+        with pytest.raises(WorkloadError, match="vm0"):
+            run(guests=2, consolidation=16, horizon_ns=100_000)
+
+    def test_aggregatable_by_fleet_layer(self):
+        from repro.fleet.aggregate import FleetAggregate
+
+        agg = FleetAggregate.from_host(run())
+        assert agg.hosts == 1 and agg.guests == 3
+        assert len(agg.guest_latency_ns) == 3
+
+
+class TestPerturbedFleetHost:
+    def test_schedule_applies_to_every_guest(self):
+        """A fleet perturbation is a host-wide disturbance: the summed
+        suspend counters must cover all guests."""
+        sched = (Perturbation("suspend", at_ns=2 * MSEC, duration_ns=1 * MSEC),)
+        m = run(guests=3, perturbations=sched)
+        assert m.extra["suspend_count"] == 3  # one per guest VM
+        assert m.extra["suspended_ns"] >= 3 * MSEC
+
+    def test_drift_offsets_sum_across_guests(self):
+        sched = (Perturbation("drift", at_ns=1 * MSEC, step_ns=100_000),)
+        m = run(guests=2, perturbations=sched)
+        assert m.extra["clock_offset_ns"] == 2 * 100_000
+
+    def test_perturbed_run_still_deterministic(self):
+        sched = (Perturbation("restore", at_ns=3 * MSEC, duration_ns=2 * MSEC),)
+        a = run(perturbations=sched)
+        b = run(perturbations=sched)
+        assert a.to_json_dict() == b.to_json_dict()

@@ -124,3 +124,55 @@ class TestPerturbationData:
     def test_describe_mentions_kind_and_time(self):
         text = Perturbation("suspend", at_ns=500, duration_ns=20).describe()
         assert "suspend" in text and "500" in text
+
+
+class TestPerturbationEdges:
+    """The corner schedules the fuzz harness can generate near limits."""
+
+    def test_zero_duration_suspend_rejected(self):
+        with pytest.raises(ConfigError, match="zero-length span"):
+            Perturbation("suspend", at_ns=5 * MSEC, duration_ns=0)
+
+    def test_zero_duration_restore_rejected(self):
+        with pytest.raises(ConfigError, match="zero-length span"):
+            Perturbation("restore", at_ns=5 * MSEC, duration_ns=0)
+
+    def test_hotplug_at_t0_rejected(self):
+        # at_ns >= 1: the VM must have booted before a vCPU can appear.
+        with pytest.raises(ConfigError, match="at_ns must be >= 1"):
+            Perturbation("hotplug", at_ns=0)
+
+    def test_hotplug_at_first_instant_allowed(self):
+        m = run_idleperiod(
+            TickMode.TICKLESS, (Perturbation("hotplug", at_ns=1),))
+        assert m.extra["hotplug_count"] == 1
+
+    def test_zero_duration_hotplug_means_stays_online(self):
+        # duration 0 is legal for hotplug (no LIFO unplug), unlike spans.
+        m = run_idleperiod(
+            TickMode.TICKLESS,
+            (Perturbation("hotplug", at_ns=2 * MSEC, duration_ns=0),))
+        assert m.extra["hotplug_count"] == 1
+        assert m.extra["unplug_count"] == 0
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_drift_crossing_a_tick_boundary_exactly(self, mode):
+        """A drift step of exactly one guest tick period, fired exactly
+        on a tick boundary (4 ms at the default 250 Hz), must stay
+        sanitizer-clean — the off-by-one-tick regime where an
+        inequality in the tick machinery would show."""
+        from repro.analysis.checkers import TickSanitizer
+
+        period = 4 * MSEC  # 1 / 250 Hz
+        schedule = (Perturbation("drift", at_ns=period, step_ns=period),)
+        sanitizer = TickSanitizer(mode=mode)
+        m = run_idleperiod(mode, schedule, tracer=sanitizer)
+        assert [str(v) for v in sanitizer.finish()] == []
+        assert m.extra["clock_offset_ns"] == period
+
+    def test_exact_boundary_drift_deterministic(self):
+        period = 4 * MSEC
+        schedule = (Perturbation("drift", at_ns=period, step_ns=period),)
+        a = run_idleperiod(TickMode.PARATICK, schedule)
+        b = run_idleperiod(TickMode.PARATICK, schedule)
+        assert metrics_digest(a) == metrics_digest(b)

@@ -335,3 +335,84 @@ class TestRandomizedMatrices:
         assert len(cells) == expected
         assert len({c.id for c in cells}) == expected
         assert len({spec_key(c.spec) for c in cells}) == expected
+
+
+class TestFleetAxis:
+    """The [fleet] axis: sharded expansion into fleet.host cells."""
+
+    @staticmethod
+    def fleet_doc(**fleet_fields):
+        table = {"hosts": 2, "guests": 3, "consolidation": 3}
+        table.update(fleet_fields)
+        return doc(
+            axes=axes(fleet=["none", "rack"]),
+            fleets={"rack": table},
+        )
+
+    def test_fleet_cells_shard_per_host(self):
+        cells = Matrix(self.fleet_doc()).expand()
+        # 1 workload x 2 modes x (1 plain + 2 host shards) = 6 cells
+        assert len(cells) == 2 * (1 + 2)
+        fleet_ids = [c.id for c in cells if c.coord("fleet") == "rack"]
+        assert fleet_ids == [
+            "ping/tickless/rack/h00", "ping/tickless/rack/h01",
+            "ping/paratick/rack/h00", "ping/paratick/rack/h01",
+        ]
+
+    def test_fleet_shards_carry_host_coordinate_and_kind(self):
+        from repro.fleet.spec import FLEET_HOST, fleet_params
+
+        cells = Matrix(self.fleet_doc(burst="waves")).expand()
+        shards = [c for c in cells if c.coord("fleet") == "rack"]
+        assert [c.coord("host") for c in shards] == ["0", "1", "0", "1"]
+        for c in shards:
+            assert c.spec.workload.kind == FLEET_HOST
+            p = fleet_params(c.spec)
+            assert p["guests"] == 3 and p["consolidation"] == 3
+            assert p["burst"] == "waves"
+            assert p["guest_kind"] == "micro.pingpong"
+        plain = [c for c in cells if c.coord("fleet") == "none"]
+        assert all(c.spec.workload.kind == "micro.pingpong" for c in plain)
+
+    def test_fleet_shards_have_unique_cache_keys(self):
+        cells = Matrix(self.fleet_doc()).expand()
+        assert len({spec_key(c.spec) for c in cells}) == len(cells)
+
+    def test_burst_window_unit_fields(self):
+        from repro.fleet.spec import fleet_params
+
+        cells = Matrix(self.fleet_doc(burst="ramp", burst_window_ms=3)).expand()
+        shard = next(c for c in cells if c.coord("fleet") == "rack")
+        assert fleet_params(shard.spec)["burst_window_ns"] == 3_000_000
+
+    def test_fleet_requires_solo_placement(self):
+        d = self.fleet_doc()
+        d["axes"]["placement"] = ["solo", "oc2"]
+        with pytest.raises(ConfigError, match="solo"):
+            Matrix(d).expand()
+
+    def test_fleet_placement_conflict_excludable(self):
+        d = self.fleet_doc()
+        d["axes"]["placement"] = ["solo", "oc2"]
+        d["exclude"] = [{"placement": "oc2", "fleet": "rack"}]
+        cells = Matrix(d).expand()
+        assert all(
+            not (c.coord("placement") == "oc2" and c.coord("fleet") == "rack")
+            for c in cells
+        )
+
+    def test_unknown_fleet_rejected(self):
+        with pytest.raises(ConfigError, match="unknown fleet"):
+            Matrix(doc(axes=axes(fleet=["ghost"]))).expand()
+
+    def test_unknown_fleet_field_rejected(self):
+        with pytest.raises(ConfigError, match="unknown fleet fields"):
+            Matrix(self.fleet_doc(racks=2)).expand()
+
+    def test_bad_topology_rejected(self):
+        with pytest.raises(ConfigError, match=">= 1"):
+            Matrix(self.fleet_doc(hosts=0)).expand()
+
+    def test_bad_burst_rejected(self):
+        with pytest.raises(ConfigError, match="burst"):
+            Matrix(self.fleet_doc(burst="stampede")).expand()
