@@ -22,6 +22,8 @@ from __future__ import annotations
 import argparse
 import sys
 
+from contextlib import nullcontext as _nullcontext
+
 from repro.config import TickMode
 from repro.experiments import runner
 from repro.experiments.scenarios import VM_SIZES
@@ -36,6 +38,7 @@ def _engine_kwargs(args) -> dict:
         "cache_dir": args.cache_dir,
         "use_cache": not args.no_cache,
         "progress": _progress_printer(args),
+        "telemetry": getattr(args, "telemetry", None),
     }
 
 
@@ -46,6 +49,8 @@ def _progress_printer(args):
 
     def cb(event) -> None:
         detail = f" ({event.error})" if event.error else ""
+        if event.duration_s is not None:
+            detail += f" [{event.duration_s:.2f}s]"
         print(
             f"[{event.done}/{event.total}] {event.status:<6} "
             f"{event.spec.display_label()}{detail}",
@@ -280,6 +285,52 @@ def _cmd_fuzz(args) -> int:
     return 0
 
 
+def _series_check(labeled_specs, result, *, out_dir=None) -> int:
+    """Reconcile each cell's in-sim time series against its RunMetrics.
+
+    ``labeled_specs`` is ``[(label, spec), ...]`` for the cells that ran
+    with ``series=True``; returns the number of cells whose series is
+    missing or does not sum exactly to the final metrics. When
+    ``out_dir`` is given (``--telemetry-out``), each series is also
+    written there as ``<label>.series.json``.
+    """
+    import json
+    import os
+
+    from repro.obs import reconcile_series
+
+    bad = 0
+    checked = 0
+    for label, spec in labeled_specs:
+        metrics = result.results.get(spec)
+        if metrics is None:
+            continue  # already reported as [FAIL]
+        series = result.series.get(spec)
+        if series is None:
+            print(f"[series] {label}: no time-series artifact recorded")
+            bad += 1
+            continue
+        checked += 1
+        errors = reconcile_series(series, metrics)
+        if errors:
+            bad += 1
+            print(f"[series] {label}: reconciliation FAILED:")
+            for e in errors:
+                print(f"    {e}")
+        if out_dir is not None:
+            os.makedirs(out_dir, exist_ok=True)
+            path = os.path.join(out_dir, label.replace("/", "__") + ".series.json")
+            with open(path, "w", encoding="utf-8") as fh:
+                json.dump(series, fh, indent=2, sort_keys=True)
+            print(f"wrote time series: {path} "
+                  f"({len(series['windows'])} windows)", file=sys.stderr)
+    if bad:
+        print(f"series: {bad} cell(s) failed exact reconciliation")
+    elif checked:
+        print(f"series: {checked} cell(s) reconcile exactly with their RunMetrics")
+    return bad
+
+
 def _cmd_matrix(args) -> int:
     """Expand / check / run a scenario-matrix file; exit 1 on problems."""
     import sys
@@ -310,7 +361,8 @@ def _cmd_matrix(args) -> int:
                 print(f"       {p}")
             failed += 0 if check.ok else 1
 
-        check_cells(cells, progress=progress)
+        check_cells(cells, progress=progress,
+                    telemetry=getattr(args, "telemetry", None))
         if failed:
             print(f"\n{failed}/{len(cells)} cells failed the sanitizer")
             return 1
@@ -318,17 +370,33 @@ def _cmd_matrix(args) -> int:
         return 0
 
     # run
+    from repro.fleet.report import format_run_summary
+
+    if args.series:
+        from dataclasses import replace
+
+        cells = [replace(c, spec=c.spec.with_(series=True)) for c in cells]
     result = run_cells(cells, **_engine_kwargs(args))
+    failures = {f.spec: f for f in result.failed_specs}
     for cell in cells:
         metrics = result.results.get(cell.spec)
         if metrics is None:
-            print(f"[FAIL] {cell.id}")
+            failed = failures.get(cell.spec)
+            detail = (f": {failed.error} (after {failed.attempts} attempt(s))"
+                      if failed is not None else "")
+            print(f"[FAIL] {cell.id}{detail}")
         else:
             print(f"[ok ] {cell.id}: {metrics.total_exits} exits, "
                   f"{metrics.timer_exits} timer, "
                   f"overhead {metrics.overhead_ratio:.4f}")
-    print(f"\n{mx.name}: {len(cells)} cells, {result.cache_hits} cached, "
-          f"{result.executed} executed, {len(result.failed_specs)} failed")
+    print("\n" + format_run_summary(mx.name, result))
+    if args.series:
+        bad = _series_check(
+            [(cell.id, cell.spec) for cell in cells], result,
+            out_dir=getattr(args, "telemetry_out", None),
+        )
+        if bad:
+            return 1
     if args.identity:
         import tempfile
 
@@ -351,12 +419,21 @@ def _cmd_fleet(args) -> int:
     import json
 
     from repro.fleet import FLEET_HOST, aggregate_hosts
-    from repro.fleet.report import format_fleet_table, report_lines
+    from repro.fleet.report import (
+        failed_lines,
+        format_fleet_table,
+        format_run_summary,
+        report_lines,
+    )
     from repro.fleet.run import group_host_cells, identity_problems_for_groups
     from repro.scenarios import load_matrix, run_cells
 
     mx = load_matrix(args.file)
     cells = mx.expand()
+    if args.series:
+        from dataclasses import replace
+
+        cells = [replace(c, spec=c.spec.with_(series=True)) for c in cells]
     groups = group_host_cells(cells)
     if not groups:
         print(f"{mx.name}: no fleet cells — add a [fleets.*] table and put "
@@ -365,30 +442,44 @@ def _cmd_fleet(args) -> int:
     fleet_cells = [c for c in cells if c.spec.workload.kind == FLEET_HOST]
 
     result = run_cells(fleet_cells, **_engine_kwargs(args))
+    summary = format_run_summary(mx.name, result)
     if result.failed_specs:
-        for failed in result.failed_specs:
-            print(f"[FAIL] {failed.spec.display_label()}: {failed.error}")
-        print(f"\n{mx.name}: {len(result.failed_specs)}/{len(fleet_cells)} "
-              f"host shards failed")
+        for line in failed_lines(result):
+            print(line)
+        print("\n" + summary)
         return 1
     artifacts = {result.results[s].label: art
                  for s, art in result.artifacts.items()}
-    aggregates = {
-        key: aggregate_hosts([result.results[s] for s in specs],
-                             artifacts or None)
-        for key, specs in groups.items()
-    }
+    tel = getattr(args, "telemetry", None)
+    with (tel.span("fleet.aggregate", lane="fleet", fleets=len(groups),
+                   hosts=len(fleet_cells))
+          if tel is not None and tel.enabled else _nullcontext()):
+        aggregates = {
+            key: aggregate_hosts([result.results[s] for s in specs],
+                                 artifacts or None)
+            for key, specs in groups.items()
+        }
 
     if args.json:
         print(json.dumps({k: a.to_json_dict() for k, a in aggregates.items()},
                          indent=2, sort_keys=True))
+        print(summary, file=sys.stderr)
     elif args.action == "report":
         for chunk in report_lines(aggregates):
             print(chunk)
+        print("\n" + summary)
     else:
         print(format_fleet_table(aggregates))
         print(f"\n{mx.name}: {len(groups)} fleet(s), {len(fleet_cells)} host "
-              f"shards, {result.cache_hits} cached, {result.executed} executed")
+              f"shard(s)")
+        print(summary)
+    if args.series:
+        bad = _series_check(
+            [(c.id, c.spec) for c in fleet_cells], result,
+            out_dir=getattr(args, "telemetry_out", None),
+        )
+        if bad:
+            return 1
 
     if args.identity:
         import tempfile
@@ -405,6 +496,15 @@ def _cmd_fleet(args) -> int:
             return 1
         print("identity check: serial == pooled == cached == order-shuffled "
               "(byte-identical)")
+    return 0
+
+
+def _cmd_telemetry(args) -> int:
+    """Summarize a ``--telemetry-out`` artifact directory."""
+    from repro.telemetry.report import report_lines
+
+    for chunk in report_lines(args.dir):
+        print(chunk)
     return 0
 
 
@@ -552,6 +652,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="result cache location (default: $REPRO_CACHE_DIR or .repro-cache)")
     p.add_argument("--quiet-progress", action="store_true",
                    help="suppress per-cell grid progress lines on stderr")
+    p.add_argument("--telemetry-out", default=None, metavar="DIR",
+                   help="attach harness telemetry (span tracer + metrics "
+                        "registry) to the command and write spans.jsonl, "
+                        "metrics.prom, metrics.json and harness_trace.json "
+                        "under DIR on exit")
     sub = p.add_subparsers(dest="command", required=True)
 
     t1 = sub.add_parser("table1", help="Table 1: periodic vs tickless exit counts")
@@ -626,6 +731,10 @@ def build_parser() -> argparse.ArgumentParser:
     mx.add_argument("--identity", action="store_true",
                     help="after run: verify serial, pooled and cached results "
                          "are byte-identical")
+    mx.add_argument("--series", action="store_true",
+                    help="run: record the windowed in-sim time series per "
+                         "cell and require it to reconcile exactly with the "
+                         "final RunMetrics")
     mx.set_defaults(fn=_cmd_matrix)
 
     fl = sub.add_parser(
@@ -641,7 +750,19 @@ def build_parser() -> argparse.ArgumentParser:
                          "order-shuffled aggregates are byte-identical")
     fl.add_argument("--json", action="store_true",
                     help="emit the fleet aggregates as JSON on stdout")
+    fl.add_argument("--series", action="store_true",
+                    help="record the windowed in-sim time series per host "
+                         "shard and require exact reconciliation with the "
+                         "shard's RunMetrics")
     fl.set_defaults(fn=_cmd_fleet)
+
+    te = sub.add_parser(
+        "telemetry", help="inspect harness telemetry written by --telemetry-out"
+    )
+    te.add_argument("action", choices=["report"],
+                    help="report: span/metrics summary tables for a directory")
+    te.add_argument("dir", help="directory written by --telemetry-out")
+    te.set_defaults(fn=_cmd_telemetry)
 
     run = sub.add_parser("run", help="run one PARSEC model and print its profile")
     run.add_argument("benchmark", choices=list(parsec.BENCHMARK_NAMES))
@@ -688,7 +809,18 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    tel = None
+    if getattr(args, "telemetry_out", None):
+        from repro.telemetry import HarnessTelemetry
+
+        tel = HarnessTelemetry()
+    args.telemetry = tel
+    rc = args.fn(args)
+    if tel is not None:
+        paths = tel.write_outputs(args.telemetry_out)
+        for kind in sorted(paths):
+            print(f"telemetry: wrote {kind}: {paths[kind]}", file=sys.stderr)
+    return rc
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -46,9 +46,11 @@ def keep_timer_heuristic(enabled: bool):
         ParatickPolicy.keep_timer_on_idle_exit = prev
 
 
-def _grid(specs, *, jobs=None, cache_dir=None, use_cache=False, progress=None):
+def _grid(specs, *, jobs=None, cache_dir=None, use_cache=False, progress=None,
+          telemetry=None):
     return run_grid(
-        specs, jobs=jobs, cache_dir=cache_dir, use_cache=use_cache, progress=progress
+        specs, jobs=jobs, cache_dir=cache_dir, use_cache=use_cache,
+        progress=progress, telemetry=telemetry,
     ).raise_if_failed()
 
 

@@ -36,6 +36,8 @@ import multiprocessing
 import os
 import signal
 import threading
+import time
+import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass, field, fields
@@ -180,6 +182,13 @@ class RunSpec:
     #: multi-VM ``overcommit.idle`` kind. Profiling never perturbs
     #: simulated time, so the RunMetrics are identical either way.
     profile: bool = False
+    #: Collect the windowed in-sim time series (:mod:`repro.obs.series`)
+    #: alongside the run; returned in :attr:`GridResult.series` and
+    #: cached as ``<key>.series.json``. Like ``profile``, ignored for
+    #: ``overcommit.idle`` and free of simulated-time side effects.
+    #: Serialized into the cache key only when set, so every
+    #: pre-existing spec keeps its exact content address.
+    series: bool = False
 
     def with_(self, **changes: Any) -> "RunSpec":
         from dataclasses import replace
@@ -191,8 +200,13 @@ class RunSpec:
 
 
 def spec_to_dict(spec: RunSpec) -> dict:
-    """Canonical JSON-safe encoding of a spec (the cache-key input)."""
-    return {
+    """Canonical JSON-safe encoding of a spec (the cache-key input).
+
+    ``series`` is emitted only when True: a False default must encode
+    byte-identically to a pre-``series`` spec so existing cache keys —
+    and the golden batteries pinned to them — stay valid.
+    """
+    out = {
         "workload": {"kind": spec.workload.kind, "params": spec.workload.kwargs()},
         "tick_mode": spec.tick_mode.value,
         "seed": spec.seed,
@@ -211,6 +225,9 @@ def spec_to_dict(spec: RunSpec) -> dict:
         "profile": spec.profile,
         "perturbations": [perturbation_to_dict(p) for p in spec.perturbations],
     }
+    if spec.series:
+        out["series"] = True
+    return out
 
 
 def spec_from_dict(data: dict) -> RunSpec:
@@ -232,6 +249,7 @@ def spec_from_dict(data: dict) -> RunSpec:
         label=data["label"],
         keep_timer_on_idle_exit=bool(data["keep_timer_on_idle_exit"]),
         profile=bool(data.get("profile", False)),
+        series=bool(data.get("series", False)),
         perturbations=tuple(
             perturbation_from_dict(p) for p in data.get("perturbations", [])
         ),
@@ -273,7 +291,7 @@ def execute_spec(spec: RunSpec):
     :class:`~repro.experiments.overcommit.OvercommitResult` for
     ``overcommit.idle`` specs.
     """
-    return execute_spec_obs(spec)[0]
+    return execute_spec_full(spec)[0]
 
 
 def execute_spec_obs(spec: RunSpec) -> tuple[Any, Optional[dict]]:
@@ -283,13 +301,42 @@ def execute_spec_obs(spec: RunSpec) -> tuple[Any, Optional[dict]]:
     payload when ``spec.profile`` is set (and the kind supports it),
     else None.
     """
+    result, obs, _series = execute_spec_full(spec)
+    return result, obs
+
+
+def _obs_for(spec: RunSpec):
+    """The :class:`~repro.obs.Observability` bundle a spec asks for.
+
+    ``profile`` selects the full virtual-perf defaults; ``series``
+    alone attaches only the :class:`~repro.obs.series.SeriesRecorder`
+    (no profiler/latency/steal cost). None when the spec wants neither.
+    """
+    if not (spec.profile or spec.series):
+        return None
+    from repro.obs import ObsConfig, Observability
+
+    if spec.profile:
+        return Observability(ObsConfig(series=spec.series))
+    return Observability(
+        ObsConfig(profile=False, latency=False, steal=False, series=True)
+    )
+
+
+def execute_spec_full(spec: RunSpec) -> tuple[Any, Optional[dict], Optional[dict]]:
+    """Run one spec, returning ``(result, obs_json, series_json)``.
+
+    The second element is the profile artifact (``spec.profile``), the
+    third the windowed in-sim time series (``spec.series``); each is
+    None when not requested or the kind does not support it.
+    """
     if spec.workload.kind == OVERCOMMIT_IDLE:
         from repro.experiments.overcommit import run_idle_overcommit
 
         result = run_idle_overcommit(
             spec.tick_mode, seed=spec.seed, **spec.workload.kwargs()
         )
-        return result, None
+        return result, None, None
 
     if spec.workload.kind == FLEET_HOST:
         from repro.fleet.hostsim import execute_fleet_spec
@@ -299,11 +346,7 @@ def execute_spec_obs(spec: RunSpec) -> tuple[Any, Optional[dict]]:
     from repro.experiments.runner import DEFAULT_HORIZON_NS, run_workload
     from repro.host.costs import DEFAULT_COSTS
 
-    obs = None
-    if spec.profile:
-        from repro.obs import Observability
-
-        obs = Observability()
+    obs = _obs_for(spec)
     costs = DEFAULT_COSTS
     if spec.cost_overrides:
         costs = costs.with_overrides(**dict(spec.cost_overrides))
@@ -326,7 +369,11 @@ def execute_spec_obs(spec: RunSpec) -> tuple[Any, Optional[dict]]:
             perturbations=spec.perturbations,
             obs=obs,
         )
-    return result, (obs.to_json_dict() if obs is not None else None)
+    return (
+        result,
+        obs.to_json_dict() if spec.profile and obs is not None else None,
+        obs.series_json() if spec.series and obs is not None else None,
+    )
 
 
 def encode_result(obj: Any) -> dict:
@@ -384,14 +431,23 @@ def _worker_run(spec: RunSpec, timeout_s: Optional[float]) -> dict:
     """Pool entry point: execute one spec under its timeout, encoded.
 
     A profile artifact (``spec.profile``) rides back in the ``"obs"``
-    key of the encoded dict; :func:`decode_result` ignores it and the
-    grid driver strips it into :attr:`GridResult.artifacts`.
+    key of the encoded dict and a time series (``spec.series``) in
+    ``"series"``; :func:`decode_result` ignores both and the grid
+    driver strips them into :attr:`GridResult.artifacts` /
+    :attr:`GridResult.series`. ``"wall_s"`` / ``"pid"`` carry the
+    in-worker wall-clock and worker identity for harness telemetry
+    (also stripped before the result is cached).
     """
+    t0 = time.monotonic()
     with _alarm(timeout_s):
-        result, obs = execute_spec_obs(spec)
+        result, obs, series = execute_spec_full(spec)
         encoded = encode_result(result)
         if obs is not None:
             encoded["obs"] = obs
+        if series is not None:
+            encoded["series"] = series
+        encoded["wall_s"] = time.monotonic() - t0
+        encoded["pid"] = os.getpid()
         return encoded
 
 
@@ -416,6 +472,10 @@ class ResultCache:
     def artifact_path_for(self, key: str) -> Path:
         """Profile artifact sibling of :meth:`path_for` (same address)."""
         return self.root / key[:2] / f"{key}.obs.json"
+
+    def series_path_for(self, key: str) -> Path:
+        """Time-series artifact sibling (``<key>.series.json``)."""
+        return self.root / key[:2] / f"{key}.series.json"
 
     def load(self, spec: RunSpec) -> Any | None:
         """Decoded result for ``spec``, or None on miss/corruption."""
@@ -471,6 +531,29 @@ class ResultCache:
         os.replace(tmp, path)
         return path
 
+    def load_series(self, spec: RunSpec) -> Optional[dict]:
+        """Cached time-series artifact for ``spec``, or None."""
+        path = self.series_path_for(spec_key(spec))
+        try:
+            payload = json.loads(path.read_text())
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError):
+            self._discard(path)
+            return None
+        if not isinstance(payload, dict):
+            self._discard(path)
+            return None
+        return payload
+
+    def store_series(self, spec: RunSpec, series: dict) -> Path:
+        path = self.series_path_for(spec_key(spec))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+        tmp.write_text(json.dumps(series, sort_keys=True))
+        os.replace(tmp, path)
+        return path
+
     @staticmethod
     def _discard(path: Path) -> None:
         with contextlib.suppress(OSError):
@@ -492,6 +575,13 @@ class ProgressEvent:
     total: int
     attempt: int = 1
     error: Optional[str] = None
+    #: Wall-clock of *this attempt* in seconds: in-worker execution
+    #: time for "ran", submit-to-settle (queue included) for
+    #: "retry"/"failed", None for "cached" and for drivers predating
+    #: the field.
+    duration_s: Optional[float] = None
+    #: True when the cell was served from the result cache.
+    cache_hit: bool = False
 
 
 @dataclass(frozen=True)
@@ -515,6 +605,9 @@ class GridResult:
     #: Profile artifacts for specs run with ``profile=True``
     #: (the :meth:`repro.obs.Observability.to_json_dict` payload).
     artifacts: dict[RunSpec, dict] = field(default_factory=dict)
+    #: Windowed in-sim time series for specs run with ``series=True``
+    #: (the :meth:`repro.obs.Observability.series_json` payload).
+    series: dict[RunSpec, dict] = field(default_factory=dict)
 
     @property
     def complete(self) -> bool:
@@ -558,6 +651,7 @@ def run_grid(
     timeout_s: Optional[float] = DEFAULT_TIMEOUT_S,
     retries: int = 1,
     progress: Optional[Callable[[ProgressEvent], None]] = None,
+    telemetry=None,
 ) -> GridResult:
     """Execute a grid of specs, using the cache and ``jobs`` workers.
 
@@ -567,7 +661,20 @@ def run_grid(
     ``retries`` times and then reported in
     :attr:`GridResult.failed_specs` — the rest of the grid completes
     regardless.
+
+    ``telemetry`` (a :class:`repro.telemetry.HarnessTelemetry`) records
+    wall-clock spans, cache instants and counters for every state
+    transition. Every touch point is guarded by
+    ``telemetry is not None and telemetry.enabled``, so a detached grid
+    pays a single boolean check (the exploding-telemetry test pins
+    this), and telemetry observes only harness wall-clock — results and
+    cache contents are byte-identical with it on or off.
+
+    A ``progress`` callback that raises is disabled after its first
+    exception (with a :class:`RuntimeWarning`) instead of sinking the
+    grid: observation must never abort the experiment.
     """
+    tel = telemetry if (telemetry is not None and telemetry.enabled) else None
     spec_list = list(specs)
     unique: dict[RunSpec, None] = dict.fromkeys(spec_list)
     total = len(unique)
@@ -575,121 +682,220 @@ def run_grid(
     result = GridResult(specs=spec_list, results={})
     done = 0
 
-    def emit(spec: RunSpec, status: str, attempt: int = 1, error: str | None = None) -> None:
-        if progress is not None:
-            progress(ProgressEvent(spec, status, done, total, attempt, error))
+    grid_span = (
+        tel.span("grid.run", cells=total, jobs=jobs or 1)
+        if tel is not None else contextlib.nullcontext({})
+    )
 
-    pending: list[RunSpec] = []
-    for spec in unique:
-        hit = cache.load(spec) if cache is not None else None
-        art = cache.load_artifact(spec) if cache is not None and spec.profile else None
-        if hit is not None and (not spec.profile or art is not None):
-            # A profiled spec only counts as a hit when its artifact is
-            # present too — a result without its profile is a miss.
-            result.results[spec] = hit
-            if art is not None:
-                result.artifacts[spec] = art
-            result.cache_hits += 1
+    def emit(spec: RunSpec, status: str, attempt: int = 1,
+             error: str | None = None, duration_s: Optional[float] = None,
+             cache_hit: bool = False) -> None:
+        nonlocal progress
+        if progress is None:
+            return
+        try:
+            progress(ProgressEvent(spec, status, done, total, attempt, error,
+                                   duration_s, cache_hit))
+        except Exception as exc:
+            warnings.warn(
+                f"progress callback disabled after raising {exc!r}",
+                RuntimeWarning, stacklevel=2,
+            )
+            progress = None
+
+    def tel_settle(spec: RunSpec, status: str, duration_ns: Optional[int]) -> None:
+        """One settled-cell record: counter + wall histogram."""
+        assert tel is not None
+        tel.counter("cells", help="grid cells settled by status", status=status)
+        if duration_ns is not None:
+            tel.observe("shard_wall_ns", duration_ns,
+                        help="per-attempt shard wall-clock", status=status)
+
+    with grid_span as grid_attrs:
+        pending: list[RunSpec] = []
+        for spec in unique:
+            hit = cache.load(spec) if cache is not None else None
+            art = cache.load_artifact(spec) if cache is not None and spec.profile else None
+            ser = cache.load_series(spec) if cache is not None and spec.series else None
+            if tel is not None and cache is not None:
+                tel.instant("cache.probe", lane="cache", spec=spec.display_label())
+            if hit is not None and (not spec.profile or art is not None) \
+                    and (not spec.series or ser is not None):
+                # A profiled (or series) spec only counts as a hit when
+                # its artifacts are present too — a result without them
+                # is a miss.
+                result.results[spec] = hit
+                if art is not None:
+                    result.artifacts[spec] = art
+                if ser is not None:
+                    result.series[spec] = ser
+                result.cache_hits += 1
+                done += 1
+                if tel is not None:
+                    tel.instant("cache.hit", lane="cache", spec=spec.display_label())
+                    tel.counter("cache_hits", help="grid cells served from cache")
+                    tel_settle(spec, "cached", None)
+                emit(spec, "cached", cache_hit=True)
+            else:
+                if tel is not None and cache is not None:
+                    tel.instant("cache.miss", lane="cache", spec=spec.display_label())
+                    tel.counter("cache_misses", help="grid cells not in cache")
+                pending.append(spec)
+
+        def settle_ok(spec: RunSpec, encoded: dict) -> None:
+            nonlocal done, cache
+            obs = encoded.pop("obs", None)
+            series = encoded.pop("series", None)
+            wall_s = encoded.pop("wall_s", None)
+            pid = encoded.pop("pid", None)
+            if obs is not None:
+                result.artifacts[spec] = obs
+            if series is not None:
+                result.series[spec] = series
+            result.results[spec] = decode_result(encoded)
+            result.executed += 1
+            if tel is not None and wall_s is not None:
+                # Reconstruct the worker's execution as a slice on its
+                # lane: it ended (approximately) now and lasted wall_s.
+                wall_ns = int(wall_s * 1e9)
+                end_ns = tel.now_ns()
+                tel.add_span("shard.execute", end_ns - wall_ns, wall_ns,
+                             lane=f"worker-{pid}", spec=spec.display_label())
+                tel_settle(spec, "ran", wall_ns)
+            if cache is not None:
+                try:
+                    cache.store(spec, encoded)
+                    if obs is not None:
+                        cache.store_artifact(spec, obs)
+                    if series is not None:
+                        cache.store_series(spec, series)
+                    if tel is not None:
+                        tel.instant("cache.write", lane="cache",
+                                    spec=spec.display_label())
+                        tel.counter("cache_writes", help="results written to cache")
+                except OSError as exc:
+                    # An unwritable store (bad cache_dir, full disk) must not
+                    # sink a grid whose results are already in memory.
+                    warnings.warn(
+                        f"result cache disabled: cannot write {cache.root}: {exc}",
+                        RuntimeWarning, stacklevel=2,
+                    )
+                    cache = None
             done += 1
-            emit(spec, "cached")
-        else:
-            pending.append(spec)
+            emit(spec, "ran", duration_s=wall_s)
 
-    def settle_ok(spec: RunSpec, encoded: dict) -> None:
-        nonlocal done, cache
-        obs = encoded.pop("obs", None)
-        if obs is not None:
-            result.artifacts[spec] = obs
-        result.results[spec] = decode_result(encoded)
-        result.executed += 1
-        if cache is not None:
-            try:
-                cache.store(spec, encoded)
-                if obs is not None:
-                    cache.store_artifact(spec, obs)
-            except OSError as exc:
-                # An unwritable store (bad cache_dir, full disk) must not
-                # sink a grid whose results are already in memory.
-                import warnings
+        def settle_failed(spec: RunSpec, error: str, attempts: int,
+                          duration_s: Optional[float] = None) -> None:
+            nonlocal done
+            result.failed_specs.append(FailedSpec(spec, error, attempts))
+            done += 1
+            if tel is not None:
+                tel.instant("shard.failed", spec=spec.display_label(),
+                            error=error, attempts=attempts)
+                tel_settle(spec, "failed",
+                           int(duration_s * 1e9) if duration_s is not None else None)
+            emit(spec, "failed", attempts, error, duration_s)
 
-                warnings.warn(
-                    f"result cache disabled: cannot write {cache.root}: {exc}",
-                    RuntimeWarning, stacklevel=2,
-                )
-                cache = None
-        done += 1
-        emit(spec, "ran")
+        def note_retry(spec: RunSpec, attempt: int, error: str,
+                       duration_s: Optional[float]) -> None:
+            if tel is not None:
+                tel.instant("shard.retry", spec=spec.display_label(),
+                            error=error, attempt=attempt)
+                tel_settle(spec, "retry",
+                           int(duration_s * 1e9) if duration_s is not None else None)
+            emit(spec, "retry", attempt, error, duration_s)
 
-    def settle_failed(spec: RunSpec, error: str, attempts: int) -> None:
-        nonlocal done
-        result.failed_specs.append(FailedSpec(spec, error, attempts))
-        done += 1
-        emit(spec, "failed", attempts, error)
+        if not pending:
+            if tel is not None:
+                grid_attrs.update(cache_hits=result.cache_hits, executed=0,
+                                  failed=len(result.failed_specs))
+            return result
 
-    if not pending:
-        return result
-
-    if not jobs or jobs <= 1:
-        for spec in pending:
-            attempt = 0
-            while True:
-                attempt += 1
-                try:
-                    settle_ok(spec, _worker_run(spec, timeout_s))
-                    break
-                except Exception as exc:
-                    if attempt > retries:
-                        settle_failed(spec, repr(exc), attempt)
+        if not jobs or jobs <= 1:
+            for spec in pending:
+                attempt = 0
+                while True:
+                    attempt += 1
+                    t0 = time.monotonic()
+                    try:
+                        settle_ok(spec, _worker_run(spec, timeout_s))
                         break
-                    emit(spec, "retry", attempt, repr(exc))
-        return result
+                    except Exception as exc:
+                        elapsed = time.monotonic() - t0
+                        if attempt > retries:
+                            settle_failed(spec, repr(exc), attempt, elapsed)
+                            break
+                        note_retry(spec, attempt, repr(exc), elapsed)
+            if tel is not None:
+                grid_attrs.update(cache_hits=result.cache_hits,
+                                  executed=result.executed,
+                                  failed=len(result.failed_specs))
+            return result
 
-    ctx = _pool_context()
-    attempts: dict[RunSpec, int] = {s: 1 for s in pending}
-    pool = ProcessPoolExecutor(max_workers=jobs, mp_context=ctx)
-    in_flight: dict[Any, RunSpec] = {
-        pool.submit(_worker_run, spec, timeout_s): spec for spec in pending
-    }
-    try:
-        while in_flight:
-            finished, _ = wait(list(in_flight), return_when=FIRST_COMPLETED)
-            pool_broken = False
-            for fut in finished:
-                spec = in_flight.pop(fut)
-                try:
-                    encoded = fut.result()
-                except BrokenProcessPool as exc:
-                    # The pool died (a worker crashed hard). Every
-                    # in-flight future is lost: rebuild the pool and
-                    # retry them all, charging each one attempt.
-                    casualties = [spec] + list(in_flight.values())
-                    in_flight.clear()
-                    with contextlib.suppress(Exception):
-                        pool.shutdown(wait=False, cancel_futures=True)
-                    pool = ProcessPoolExecutor(max_workers=jobs, mp_context=ctx)
-                    for s in casualties:
-                        if attempts[s] > retries:
-                            settle_failed(s, repr(exc), attempts[s])
+        ctx = _pool_context()
+        attempts: dict[RunSpec, int] = {s: 1 for s in pending}
+        pool = ProcessPoolExecutor(max_workers=jobs, mp_context=ctx)
+        if tel is not None:
+            tel.gauge("pool_workers", jobs, help="process pool size")
+        submitted_at: dict[Any, float] = {}
+
+        def submit(p, spec: RunSpec):
+            fut = p.submit(_worker_run, spec, timeout_s)
+            submitted_at[fut] = time.monotonic()
+            return fut
+
+        in_flight: dict[Any, RunSpec] = {submit(pool, spec): spec for spec in pending}
+        try:
+            while in_flight:
+                finished, _ = wait(list(in_flight), return_when=FIRST_COMPLETED)
+                pool_broken = False
+                for fut in finished:
+                    spec = in_flight.pop(fut)
+                    elapsed = time.monotonic() - submitted_at.pop(fut, time.monotonic())
+                    try:
+                        encoded = fut.result()
+                    except BrokenProcessPool as exc:
+                        # The pool died (a worker crashed hard). Every
+                        # in-flight future is lost: rebuild the pool and
+                        # retry them all, charging each one attempt.
+                        casualties = [spec] + list(in_flight.values())
+                        in_flight.clear()
+                        submitted_at.clear()
+                        with contextlib.suppress(Exception):
+                            pool.shutdown(wait=False, cancel_futures=True)
+                        pool = ProcessPoolExecutor(max_workers=jobs, mp_context=ctx)
+                        if tel is not None:
+                            tel.instant("pool.rebuild", error=repr(exc),
+                                        casualties=len(casualties))
+                            tel.counter("pool_rebuilds",
+                                        help="process pool crash recoveries")
+                        for s in casualties:
+                            if attempts[s] > retries:
+                                settle_failed(s, repr(exc), attempts[s], elapsed)
+                            else:
+                                note_retry(s, attempts[s], repr(exc), elapsed)
+                                attempts[s] += 1
+                                in_flight[submit(pool, s)] = s
+                        pool_broken = True
+                    except Exception as exc:  # worker raised (incl. RunTimeout)
+                        if attempts[spec] > retries:
+                            settle_failed(spec, repr(exc), attempts[spec], elapsed)
                         else:
-                            emit(s, "retry", attempts[s], repr(exc))
-                            attempts[s] += 1
-                            in_flight[pool.submit(_worker_run, s, timeout_s)] = s
-                    pool_broken = True
-                except Exception as exc:  # worker raised (incl. RunTimeout)
-                    if attempts[spec] > retries:
-                        settle_failed(spec, repr(exc), attempts[spec])
+                            note_retry(spec, attempts[spec], repr(exc), elapsed)
+                            attempts[spec] += 1
+                            in_flight[submit(pool, spec)] = spec
                     else:
-                        emit(spec, "retry", attempts[spec], repr(exc))
-                        attempts[spec] += 1
-                        in_flight[pool.submit(_worker_run, spec, timeout_s)] = spec
-                else:
-                    settle_ok(spec, encoded)
-                if pool_broken:
-                    break  # `in_flight` was rebuilt wholesale; re-wait
-    finally:
-        with contextlib.suppress(Exception):
-            pool.shutdown(wait=False, cancel_futures=True)
-    return result
+                        settle_ok(spec, encoded)
+                    if pool_broken:
+                        break  # `in_flight` was rebuilt wholesale; re-wait
+        finally:
+            with contextlib.suppress(Exception):
+                pool.shutdown(wait=False, cancel_futures=True)
+        if tel is not None:
+            grid_attrs.update(cache_hits=result.cache_hits,
+                              executed=result.executed,
+                              failed=len(result.failed_specs))
+        return result
 
 
 def progress_reporter(stream=None):
@@ -708,8 +914,9 @@ def progress_reporter(stream=None):
     def callback(event: ProgressEvent) -> None:
         stats[event.status] += 1
         detail = f" ({event.error})" if event.error else ""
+        took = f" [{event.duration_s:.2f}s]" if event.duration_s is not None else ""
         print(f"[{event.done}/{event.total}] {event.status:<6} "
-              f"{event.spec.display_label()}{detail}", file=out)
+              f"{event.spec.display_label()}{took}{detail}", file=out)
 
     return stats, callback
 

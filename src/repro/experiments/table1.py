@@ -77,6 +77,7 @@ def simulated_cross_check(
     cache_dir=None,
     use_cache: bool = False,
     progress=None,
+    telemetry=None,
 ) -> dict[str, dict[str, float]]:
     """Simulate W1 and W3 (1 s) and report exits/s per mode.
 
@@ -89,7 +90,7 @@ def simulated_cross_check(
     specs = cross_check_specs(duration_ns=duration_ns, seed=seed)
     grid = run_grid(
         list(specs.values()), jobs=jobs, cache_dir=cache_dir,
-        use_cache=use_cache, progress=progress,
+        use_cache=use_cache, progress=progress, telemetry=telemetry,
     ).raise_if_failed()
 
     out: dict[str, dict[str, float]] = {"W1": {}, "W3": {}}

@@ -48,6 +48,7 @@ def run(
     cache_dir=None,
     use_cache: bool = False,
     progress=None,
+    telemetry=None,
 ) -> Fig4Result:
     """Run all 13 benchmarks sequentially in both modes.
 
@@ -64,7 +65,8 @@ def run(
         pairs.append((bench, b, c))
         specs += [b, c]
     grid = run_grid(
-        specs, jobs=jobs, cache_dir=cache_dir, use_cache=use_cache, progress=progress
+        specs, jobs=jobs, cache_dir=cache_dir, use_cache=use_cache,
+        progress=progress, telemetry=telemetry,
     ).raise_if_failed()
     comps = [compare_from_grid(grid, b, c, bench) for bench, b, c in pairs]
     return Fig4Result(comps, aggregate_improvements(comps, label="average (Table 2)"))

@@ -62,6 +62,7 @@ def run_size(
     cache_dir=None,
     use_cache: bool = False,
     progress=None,
+    telemetry=None,
 ) -> Fig5Result:
     """One VM-size scenario across the benchmark list.
 
@@ -80,7 +81,8 @@ def run_size(
         pairs.append((bench, b, c))
         specs += [b, c]
     grid = run_grid(
-        specs, jobs=jobs, cache_dir=cache_dir, use_cache=use_cache, progress=progress
+        specs, jobs=jobs, cache_dir=cache_dir, use_cache=use_cache,
+        progress=progress, telemetry=telemetry,
     ).raise_if_failed()
     comps = [compare_from_grid(grid, b, c, bench) for bench, b, c in pairs]
     return Fig5Result(size, comps, aggregate_improvements(comps, label=f"average ({size.name})"))

@@ -69,6 +69,7 @@ def run(
     cache_dir=None,
     use_cache: bool = False,
     progress=None,
+    telemetry=None,
 ) -> Fig6Result:
     """The full category x block-size sweep, aggregated per category.
 
@@ -85,7 +86,8 @@ def run(
             pairs[cat].append((label, b, c))
             specs += [b, c]
     grid = run_grid(
-        specs, jobs=jobs, cache_dir=cache_dir, use_cache=use_cache, progress=progress
+        specs, jobs=jobs, cache_dir=cache_dir, use_cache=use_cache,
+        progress=progress, telemetry=telemetry,
     ).raise_if_failed()
     per_category = []
     for cat in fio.CATEGORIES:

@@ -22,6 +22,7 @@ from repro.fleet.aggregate import (
     percentile_ns,
 )
 from repro.fleet.hostsim import execute_fleet_spec, run_host
+from repro.fleet.report import failed_lines, format_run_summary
 from repro.fleet.run import (
     fleet_identity_problems,
     group_host_cells,
@@ -46,7 +47,9 @@ __all__ = [
     "aggregate_hosts",
     "arrival_schedule",
     "execute_fleet_spec",
+    "failed_lines",
     "fleet_bytes",
+    "format_run_summary",
     "fleet_identity_problems",
     "fleet_params",
     "group_host_cells",

@@ -251,24 +251,22 @@ def run_host(
     )
 
 
-def execute_fleet_spec(spec: RunSpec) -> tuple[RunMetrics, Optional[dict]]:
+def execute_fleet_spec(spec: RunSpec) -> tuple[RunMetrics, Optional[dict], Optional[dict]]:
     """Parallel-engine entry point for ``fleet.host`` specs.
 
     Mirrors the workload arm of
-    :func:`repro.experiments.parallel.execute_spec_obs`: applies cost
-    overrides and the keep-timer policy, honors ``spec.profile`` with an
-    :class:`repro.obs.Observability` bundle, and returns
-    ``(metrics, obs_json_or_None)``.
+    :func:`repro.experiments.parallel.execute_spec_full`: applies cost
+    overrides and the keep-timer policy, honors ``spec.profile`` /
+    ``spec.series`` with an :class:`repro.obs.Observability` bundle,
+    and returns ``(metrics, obs_json_or_None, series_json_or_None)``.
     """
+    from repro.experiments.parallel import _obs_for
+
     params = fleet_params(spec)
     costs = DEFAULT_COSTS
     if spec.cost_overrides:
         costs = costs.with_overrides(**dict(spec.cost_overrides))
-    obs = None
-    if spec.profile:
-        from repro.obs import Observability
-
-        obs = Observability()
+    obs = _obs_for(spec)
     with _keep_timer(spec.keep_timer_on_idle_exit):
         metrics = run_host(
             tick_mode=spec.tick_mode,
@@ -284,4 +282,8 @@ def execute_fleet_spec(spec: RunSpec) -> tuple[RunMetrics, Optional[dict]]:
             obs=obs,
             **params,
         )
-    return metrics, (obs.to_json_dict() if obs is not None else None)
+    return (
+        metrics,
+        obs.to_json_dict() if spec.profile and obs is not None else None,
+        obs.series_json() if spec.series and obs is not None else None,
+    )

@@ -73,6 +73,32 @@ def format_latency_hists(agg: FleetAggregate, *, title: str = "") -> str:
     return format_table(headers, rows, title=title)
 
 
+def format_run_summary(name: str, grid) -> str:
+    """One ``<name>: N cells, X cached, Y executed[, Z FAILED]`` line.
+
+    The grid-outcome summary every run driver prints (``fleet run``,
+    ``matrix run``): cache hits and failures are always surfaced, not
+    just visible to ``--progress`` watchers.
+    """
+    parts = [
+        f"{name}: {len(grid.specs)} cell(s)",
+        f"{grid.cache_hits} cached",
+        f"{grid.executed} executed",
+    ]
+    if grid.failed_specs:
+        parts.append(f"{len(grid.failed_specs)} FAILED")
+    return ", ".join(parts)
+
+
+def failed_lines(grid) -> list[str]:
+    """One ``[FAIL]`` line per failed spec, with its error and attempts."""
+    return [
+        f"[FAIL] {f.spec.display_label()}: {f.error} "
+        f"(after {f.attempts} attempt{'s' if f.attempts != 1 else ''})"
+        for f in grid.failed_specs
+    ]
+
+
 def report_lines(aggregates: Mapping[str, FleetAggregate]) -> Iterable[str]:
     """The full ``fleet report`` output, one chunk per table."""
     yield format_fleet_table(aggregates)

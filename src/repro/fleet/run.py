@@ -30,22 +30,39 @@ def run_fleet(
     use_cache: bool = True,
     timeout_s: Optional[float] = None,
     progress: Optional[Callable] = None,
+    series: bool = False,
+    telemetry=None,
 ) -> tuple[FleetAggregate, GridResult]:
     """Run every host of ``fleet`` and aggregate.
 
     Returns ``(aggregate, grid)`` — the grid retains per-host metrics
-    (and obs artifacts when ``fleet.profile``) for drill-down. Raises
+    (and obs artifacts when ``fleet.profile``, per-host time series in
+    :attr:`~repro.experiments.parallel.GridResult.series` when
+    ``series=True``) for drill-down. Raises
     :class:`~repro.experiments.parallel.GridError` if any host failed:
     a fleet aggregate over a partial rack would silently under-count.
+
+    ``telemetry`` (a :class:`repro.telemetry.HarnessTelemetry`) wraps
+    the grid and the aggregation in harness spans; like everywhere
+    else, a detached fleet pays one boolean check.
     """
     specs = fleet.host_specs()
+    if series:
+        specs = [s.with_(series=True) for s in specs]
+    tel = telemetry if (telemetry is not None and telemetry.enabled) else None
     kwargs: dict = dict(jobs=jobs, cache_dir=cache_dir, use_cache=use_cache,
-                        progress=progress)
+                        progress=progress, telemetry=telemetry)
     if timeout_s is not None:
         kwargs["timeout_s"] = timeout_s
     grid = run_grid(specs, **kwargs).raise_if_failed()
     metrics = [grid[s] for s in specs]
     artifacts = {grid[s].label: art for s, art in grid.artifacts.items()}
+    if tel is not None:
+        with tel.span("fleet.aggregate", lane="fleet", fleet=fleet.display_label(),
+                      hosts=len(metrics)):
+            agg = aggregate_hosts(metrics, artifacts or None)
+        tel.counter("fleet_hosts", len(metrics), help="fleet host shards aggregated")
+        return agg, grid
     return aggregate_hosts(metrics, artifacts or None), grid
 
 

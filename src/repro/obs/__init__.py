@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING, Optional
 from repro.obs.export import to_chrome_trace, validate_chrome_trace, write_chrome_trace
 from repro.obs.histograms import HistogramRegistry, LatencyRecorder, Log2Histogram
 from repro.obs.profiler import DEFAULT_SAMPLE_PERIOD_NS, SamplingProfiler
+from repro.obs.series import DEFAULT_WINDOW_NS, SeriesRecorder, reconcile_series
 from repro.obs.steal import StealTracker, runtime_steal_summary
 from repro.sim.trace import RingTracer, TeeTracer, Tracer
 
@@ -42,6 +43,9 @@ __all__ = [
     "Observability",
     "SamplingProfiler",
     "StealTracker",
+    "SeriesRecorder",
+    "reconcile_series",
+    "DEFAULT_WINDOW_NS",
     "LatencyRecorder",
     "HistogramRegistry",
     "Log2Histogram",
@@ -67,10 +71,17 @@ class ObsConfig:
     #: refuses to pretend completeness when the ring overflowed.
     trace_export: bool = False
     ring_capacity: int = 1_000_000
+    #: Windowed in-sim time series (exits / steal / halt / tick tail
+    #: latency per interval of simulated time; see
+    #: :mod:`repro.obs.series`). Off by default — it is a distinct
+    #: cached artifact (``<key>.series.json``), not part of
+    #: :meth:`Observability.to_json_dict`.
+    series: bool = False
+    series_window_ns: int = DEFAULT_WINDOW_NS
 
     @property
     def any_tracing(self) -> bool:
-        return self.latency or self.steal or self.trace_export
+        return self.latency or self.steal or self.trace_export or self.series
 
 
 class Observability:
@@ -97,6 +108,9 @@ class Observability:
         self.ring = (
             RingTracer(self.config.ring_capacity) if self.config.trace_export else None
         )
+        self.series = (
+            SeriesRecorder(self.config.series_window_ns) if self.config.series else None
+        )
         self.elapsed_ns = 0
         self._pcpu_of: dict[str, int] = {}
         self._finalized = False
@@ -111,7 +125,7 @@ class Observability:
         be defeated by an enabled-but-empty tee.
         """
         sinks: list[Tracer] = [
-            s for s in (self.latency, self.steal, self.ring) if s is not None
+            s for s in (self.latency, self.steal, self.ring, self.series) if s is not None
         ]
         if not sinks:
             return user_tracer
@@ -134,6 +148,8 @@ class Observability:
         }
         if self.profiler is not None:
             self.profiler.uninstall()
+        if self.series is not None:
+            self.series.finalize(sim.now)
         self._finalized = True
 
     # ------------------------------------------------------------- readouts
@@ -150,6 +166,17 @@ class Observability:
         return to_chrome_trace(
             self.ring.records, pcpu_of=self._pcpu_of, end_ns=self.elapsed_ns or None
         )
+
+    def series_json(self) -> dict:
+        """The windowed time-series document (``<key>.series.json``).
+
+        Deliberately *not* merged into :meth:`to_json_dict` — the
+        ``.obs.json`` artifact schema predates the series and cached
+        copies must stay readable as-is.
+        """
+        if self.series is None:
+            raise ValueError("series not enabled in ObsConfig")
+        return self.series.to_json_dict()
 
     def to_json_dict(self) -> dict:
         out: dict = {"elapsed_ns": self.elapsed_ns}

@@ -135,11 +135,25 @@ def check_cells(
     cells: Iterable[Cell],
     *,
     progress: Optional[Callable[[CellCheck], None]] = None,
+    telemetry=None,
 ) -> list[CellCheck]:
-    """Sanitize every cell; ``progress(check)`` is called per cell."""
+    """Sanitize every cell; ``progress(check)`` is called per cell.
+
+    ``telemetry`` records a ``check.cell`` span per cell on the
+    ``sanitizer`` lane plus pass/fail counters; detached costs one
+    boolean check per cell.
+    """
+    tel = telemetry if (telemetry is not None and telemetry.enabled) else None
     checks = []
     for cell in cells:
-        check = check_cell(cell)
+        if tel is not None:
+            with tel.span("check.cell", lane="sanitizer", cell=cell.id) as attrs:
+                check = check_cell(cell)
+                attrs.update(ok=check.ok, events=check.events)
+            tel.counter("cells_checked", help="sanitizer cells checked",
+                        outcome="ok" if check.ok else "failed")
+        else:
+            check = check_cell(cell)
         checks.append(check)
         if progress is not None:
             progress(check)

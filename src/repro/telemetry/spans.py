@@ -1,0 +1,200 @@
+"""Structured wall-clock span/event tracing for the *harness* itself.
+
+:mod:`repro.sim.trace` observes simulated time; this module observes
+the platform that schedules simulations — where real wall-clock goes
+while a grid runs. The shape is deliberately the same as the Chrome
+``trace_event`` model the observability exporter already speaks:
+
+* a **span** is a named interval on a *lane* (worker process, the grid
+  scheduler, the sanitizer) with free-form scalar attributes;
+* an **instant** is a point event (a cache probe, a retry, a write).
+
+Records land in a bounded in-memory ring (constant memory, overflow
+counted — never silently unbounded) and, optionally, stream to a JSONL
+sink as they are recorded, so a crashed run still leaves a usable
+partial trace on disk. Timestamps are ``time.monotonic_ns()`` relative
+to the tracer's construction epoch — monotonic, comparable across all
+spans of one tracer, immune to wall-clock steps.
+
+A failing sink must never sink the experiment it observes: the first
+write error disables the sink with a warning and recording continues
+in memory only.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import time
+import warnings
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional, TextIO
+
+#: Default ring capacity (records). A grid cell contributes a handful
+#: of records, so this covers grids of tens of thousands of cells.
+DEFAULT_CAPACITY = 200_000
+
+#: Lane used when the caller does not name one (the scheduler thread).
+DEFAULT_LANE = "harness"
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished harness span: ``[ts_ns, ts_ns + dur_ns)`` on a lane."""
+
+    name: str
+    ts_ns: int
+    dur_ns: int
+    lane: str = DEFAULT_LANE
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def to_json_dict(self) -> dict:
+        return {"type": "span", "name": self.name, "ts_ns": self.ts_ns,
+                "dur_ns": self.dur_ns, "lane": self.lane, "attrs": self.attrs}
+
+
+@dataclass(frozen=True)
+class InstantRecord:
+    """One point event on a lane (cache probe, retry, artifact write)."""
+
+    name: str
+    ts_ns: int
+    lane: str = DEFAULT_LANE
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def to_json_dict(self) -> dict:
+        return {"type": "instant", "name": self.name, "ts_ns": self.ts_ns,
+                "lane": self.lane, "attrs": self.attrs}
+
+
+class SpanTracer:
+    """Bounded ring of harness spans/instants with an optional JSONL sink."""
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        sink: Optional[TextIO] = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.records: deque[SpanRecord | InstantRecord] = deque(maxlen=capacity)
+        #: Records evicted by ring overflow (the JSONL sink, when
+        #: attached, still received them).
+        self.dropped = 0
+        #: Wall-clock (epoch seconds) at tracer construction — lets a
+        #: reader anchor the monotonic timeline to calendar time.
+        self.wall_epoch_s = time.time()
+        self._epoch_ns = time.monotonic_ns()
+        self._sink = sink
+
+    # ------------------------------------------------------------ recording
+
+    def now_ns(self) -> int:
+        """Monotonic ns since this tracer's construction."""
+        return time.monotonic_ns() - self._epoch_ns
+
+    def add_span(self, name: str, ts_ns: int, dur_ns: int,
+                 lane: str = DEFAULT_LANE, **attrs: Any) -> SpanRecord:
+        """Record an externally-measured span (e.g. a worker's run)."""
+        rec = SpanRecord(name, max(0, ts_ns), max(0, dur_ns), lane, attrs)
+        self._push(rec)
+        return rec
+
+    def instant(self, name: str, lane: str = DEFAULT_LANE, **attrs: Any) -> InstantRecord:
+        """Record a point event at the current time."""
+        rec = InstantRecord(name, self.now_ns(), lane, attrs)
+        self._push(rec)
+        return rec
+
+    @contextlib.contextmanager
+    def span(self, name: str, lane: str = DEFAULT_LANE, **attrs: Any) -> Iterator[dict]:
+        """Measure a ``with`` body as one span.
+
+        Yields the (mutable) attrs dict so the body can attach results
+        (`attrs["cells"] = n`); the span is recorded on exit, including
+        the exceptional path (with ``attrs["error"]`` set).
+        """
+        start = self.now_ns()
+        try:
+            yield attrs
+        except BaseException as exc:
+            attrs.setdefault("error", repr(exc))
+            raise
+        finally:
+            self.add_span(name, start, self.now_ns() - start, lane, **attrs)
+
+    def _push(self, rec: SpanRecord | InstantRecord) -> None:
+        if len(self.records) == self.capacity:
+            self.dropped += 1
+        self.records.append(rec)
+        if self._sink is not None:
+            try:
+                self._sink.write(json.dumps(rec.to_json_dict(), sort_keys=True))
+                self._sink.write("\n")
+            except (OSError, ValueError) as exc:
+                # A full disk / closed file must not sink the grid.
+                self._sink = None
+                warnings.warn(f"telemetry JSONL sink disabled: {exc}",
+                              RuntimeWarning, stacklevel=2)
+
+    # ------------------------------------------------------------- readouts
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def spans(self) -> list[SpanRecord]:
+        return [r for r in self.records if isinstance(r, SpanRecord)]
+
+    def instants(self) -> list[InstantRecord]:
+        return [r for r in self.records if isinstance(r, InstantRecord)]
+
+    def lanes(self) -> list[str]:
+        """Lane names in first-appearance order (stable track layout)."""
+        seen: dict[str, None] = {}
+        for r in self.records:
+            seen.setdefault(r.lane)
+        return list(seen)
+
+    def write_jsonl(self, path: str) -> int:
+        """Dump the retained ring as JSON-lines; returns records written.
+
+        The first line is a header record carrying the epoch and drop
+        count, so a reader knows whether the file is complete.
+        """
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps({
+                "type": "header", "wall_epoch_s": self.wall_epoch_s,
+                "dropped": self.dropped, "records": len(self.records),
+            }, sort_keys=True) + "\n")
+            for rec in self.records:
+                fh.write(json.dumps(rec.to_json_dict(), sort_keys=True) + "\n")
+        return len(self.records)
+
+
+def read_jsonl(path: str) -> tuple[dict, list[dict]]:
+    """Load a spans JSONL file: ``(header, records)``.
+
+    Tolerates a missing header (streamed sinks have none) and skips
+    corrupt lines rather than failing — a telemetry reader must cope
+    with a file truncated by a crash.
+    """
+    header: dict = {}
+    records: list[dict] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except ValueError:
+                continue
+            if not isinstance(obj, dict):
+                continue
+            if obj.get("type") == "header":
+                header = obj
+            elif obj.get("type") in ("span", "instant"):
+                records.append(obj)
+    return header, records

@@ -55,6 +55,78 @@ class TestCommands:
         assert (tmp_path / "figs" / "fig6_fio.csv").exists()
 
 
+MATRIX_TOML = """\
+[matrix]
+name = "cli-smoke"
+seeds = [0]
+horizon_ms = 50
+
+[axes]
+workload = ["ping"]
+mode = ["paratick"]
+
+[workloads.ping]
+kind = "micro.pingpong"
+params = { rounds = 5, work_cycles = 20000, same_vcpu = false }
+"""
+
+
+class TestTelemetryCommands:
+    def test_telemetry_report_on_empty_dir(self, capsys, tmp_path):
+        assert main(["telemetry", "report", str(tmp_path)]) == 0
+        assert "no telemetry artifacts" in capsys.readouterr().out
+
+    def test_matrix_run_series_with_telemetry(self, capsys, tmp_path):
+        matrix = tmp_path / "m.toml"
+        matrix.write_text(MATRIX_TOML)
+        tele = tmp_path / "tele"
+        rc = main([
+            "--quiet-progress", "--cache-dir", str(tmp_path / "cache"),
+            "--telemetry-out", str(tele),
+            "matrix", "run", str(matrix), "--series",
+        ])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "1 cell(s), 0 cached, 1 executed" in captured.out
+        assert "reconcile exactly" in captured.out
+        for artifact in ("spans.jsonl", "metrics.prom", "metrics.json",
+                         "harness_trace.json"):
+            assert (tele / artifact).exists()
+        series_files = list(tele.glob("*.series.json"))
+        assert len(series_files) == 1
+
+        # The written artifact directory renders through the report.
+        assert main(["telemetry", "report", str(tele)]) == 0
+        report = capsys.readouterr().out
+        assert "grid.run" in report and "cells" in report
+
+    def test_matrix_run_prints_failure_detail(self, capsys, tmp_path):
+        from repro.experiments.parallel import register_workload
+        from repro.workloads.micro import PingPongWorkload
+
+        class _CliBoomWorkload(PingPongWorkload):
+            # Survives matrix expansion (default_vcpus etc.), then fails
+            # inside the engine where the CLI must report it per cell.
+            def build(self, kernel):
+                raise RuntimeError("cli-boom")
+
+        register_workload("test.cliboom",
+                          lambda **kw: _CliBoomWorkload(rounds=2,
+                                                        work_cycles=1000))
+        matrix = tmp_path / "m.toml"
+        matrix.write_text(MATRIX_TOML.replace(
+            'kind = "micro.pingpong"\nparams = '
+            '{ rounds = 5, work_cycles = 20000, same_vcpu = false }',
+            'kind = "test.cliboom"\nparams = {}',
+        ))
+        rc = main(["--quiet-progress", "--no-cache",
+                   "matrix", "run", str(matrix)])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "[FAIL]" in out and "cli-boom" in out and "attempt" in out
+        assert "1 FAILED" in out
+
+
 class TestSanitizerCommands:
     def test_check_clean_run(self, capsys):
         assert main(["check", "dedup", "--target-mcycles", "30"]) == 0
