@@ -371,12 +371,19 @@ def _cmd_matrix(args) -> int:
 
     # run
     from repro.fleet.report import format_run_summary
+    from repro.resilience import ResumeError
+    from repro.scenarios import run_cells_resumable
 
     if args.series:
         from dataclasses import replace
 
         cells = [replace(c, spec=c.spec.with_(series=True)) for c in cells]
-    result = run_cells(cells, **_engine_kwargs(args))
+    try:
+        result = run_cells_resumable(cells, journal=args.journal,
+                                     resume=args.resume, **_engine_kwargs(args))
+    except ResumeError as exc:
+        print(f"resume failed: {exc}", file=sys.stderr)
+        return 1
     failures = {f.spec: f for f in result.failed_specs}
     for cell in cells:
         metrics = result.results.get(cell.spec)
@@ -390,6 +397,8 @@ def _cmd_matrix(args) -> int:
                   f"{metrics.timer_exits} timer, "
                   f"overhead {metrics.overhead_ratio:.4f}")
     print("\n" + format_run_summary(mx.name, result))
+    if result.report is not None:
+        print(result.report.render())
     if args.series:
         bad = _series_check(
             [(cell.id, cell.spec) for cell in cells], result,
@@ -441,8 +450,18 @@ def _cmd_fleet(args) -> int:
         return 1
     fleet_cells = [c for c in cells if c.spec.workload.kind == FLEET_HOST]
 
-    result = run_cells(fleet_cells, **_engine_kwargs(args))
+    from repro.resilience import ResumeError
+    from repro.scenarios import run_cells_resumable
+
+    try:
+        result = run_cells_resumable(fleet_cells, journal=args.journal,
+                                     resume=args.resume, **_engine_kwargs(args))
+    except ResumeError as exc:
+        print(f"resume failed: {exc}", file=sys.stderr)
+        return 1
     summary = format_run_summary(mx.name, result)
+    if result.report is not None and result.report.outcome != "completed":
+        summary += "\n" + result.report.render()
     if result.failed_specs:
         for line in failed_lines(result):
             print(line)
@@ -505,6 +524,115 @@ def _cmd_telemetry(args) -> int:
 
     for chunk in report_lines(args.dir):
         print(chunk)
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    """Verify (checksum every entry) or garbage-collect the result cache."""
+    import os
+
+    from repro.experiments.parallel import CACHE_VERSION, DEFAULT_CACHE_DIR
+    from repro.resilience import gc_cache, verify_cache
+
+    root = args.cache_dir or os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+    if args.action == "verify":
+        audit = verify_cache(root, quarantine=not args.no_quarantine)
+        print(f"cache {root}: {audit.summary()}")
+        for path in audit.corrupt:
+            print(f"  corrupt: {path}")
+        for path in audit.quarantined:
+            print(f"  quarantined -> {path}")
+        return 0 if audit.clean else 1
+    stats = gc_cache(root, current_version=CACHE_VERSION,
+                     purge_quarantine=args.purge_quarantine)
+    print(f"cache {root}: {stats.summary()}")
+    return 0
+
+
+def _cmd_chaos(args) -> int:
+    """Seeded chaos smoke: kill workers, crash the harness, corrupt the
+    cache — then resume from the journal and require the fleet bytes to
+    be identical to an uninterrupted run's."""
+    import tempfile
+    from pathlib import Path
+
+    from repro.experiments.parallel import spec_key
+    from repro.fleet import FLEET_HOST, aggregate_hosts
+    from repro.fleet.aggregate import fleet_bytes
+    from repro.fleet.run import group_host_cells
+    from repro.resilience import ChaosAbort, ChaosPolicy
+    from repro.resilience.chaos import corrupt_cache_entry
+    from repro.scenarios import load_matrix, run_cells, run_cells_resumable
+
+    mx = load_matrix(args.file)
+    cells = [c for c in mx.expand() if c.spec.workload.kind == FLEET_HOST]
+    if not cells:
+        print(f"{mx.name}: no fleet cells to smoke", file=sys.stderr)
+        return 1
+    groups = group_host_cells(cells)
+    engine = _engine_kwargs(args)
+    engine["jobs"] = engine["jobs"] or 2
+
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as td:
+        golden_dir = Path(td) / "golden-cache"
+        chaos_dir = Path(td) / "chaos-cache"
+        journal = Path(td) / "run.journal"
+        fuse_dir = Path(td) / "fuses"
+
+        # 1. Uninterrupted run: the golden fleet bytes.
+        clean = run_cells(cells, **{**engine, "cache_dir": golden_dir,
+                                    "use_cache": True}).raise_if_failed()
+        golden = {key: fleet_bytes(aggregate_hosts([clean[s] for s in specs]))
+                  for key, specs in groups.items()}
+
+        # 2. Chaos run: seeded worker SIGKILLs, then a simulated harness
+        #    crash partway through — the journal survives, the run dies.
+        policy = ChaosPolicy.plan(
+            [spec_key(c.spec) for c in cells],
+            seed=args.chaos_seed, kills=args.kills,
+            abort_after=args.abort_after, fuse_dir=str(fuse_dir))
+        interrupted = False
+        try:
+            run_cells_resumable(cells, journal=journal, chaos=policy,
+                                **{**engine, "cache_dir": chaos_dir,
+                                   "use_cache": True, "retries": 2})
+        except ChaosAbort as exc:
+            interrupted = True
+            print(f"chaos: {exc}", file=sys.stderr)
+        if args.abort_after is not None and not interrupted:
+            print("chaos: expected the simulated harness crash to fire",
+                  file=sys.stderr)
+            return 1
+
+        # 3. Corrupt one cached entry the way a torn write would.
+        if args.corrupt:
+            victim = corrupt_cache_entry(chaos_dir, seed=args.chaos_seed)
+            print(f"chaos: corrupted {victim.name}", file=sys.stderr)
+
+        # 4. Resume from the journal; re-verification must catch the
+        #    corruption (quarantine, re-run) and the fleet bytes must
+        #    equal the golden run's.
+        resumed = run_cells_resumable(
+            cells, journal=journal, resume=journal,
+            **{**engine, "cache_dir": chaos_dir, "use_cache": True,
+               "retries": 2}).raise_if_failed()
+        report = resumed.report
+        print(report.render())
+        recovered = {key: fleet_bytes(aggregate_hosts([resumed[s] for s in specs]))
+                     for key, specs in groups.items()}
+
+    problems = [key for key in golden if recovered[key] != golden[key]]
+    if problems:
+        print(f"chaos smoke FAILED: fleet bytes diverged for {problems}")
+        return 1
+    wanted_resume = args.abort_after is not None and report.resumed == 0
+    if wanted_resume:
+        print("chaos smoke FAILED: nothing was resumed from the journal")
+        return 1
+    print(f"chaos smoke ok: {len(groups)} fleet(s) byte-identical after "
+          f"kill/crash/corrupt + resume "
+          f"(resumed={report.resumed}, reverified={report.reverified}, "
+          f"quarantined={report.quarantined})")
     return 0
 
 
@@ -735,6 +863,14 @@ def build_parser() -> argparse.ArgumentParser:
                     help="run: record the windowed in-sim time series per "
                          "cell and require it to reconcile exactly with the "
                          "final RunMetrics")
+    mx.add_argument("--journal", default=None, metavar="FILE",
+                    help="run: record every cell's lifecycle to an "
+                         "append-only crash-safe journal")
+    mx.add_argument("--resume", default=None, metavar="FILE",
+                    help="run: resume an interrupted run from its journal — "
+                         "completed cells are served from the cache after "
+                         "re-verifying their bytes against the journaled "
+                         "result hash")
     mx.set_defaults(fn=_cmd_matrix)
 
     fl = sub.add_parser(
@@ -754,6 +890,12 @@ def build_parser() -> argparse.ArgumentParser:
                     help="record the windowed in-sim time series per host "
                          "shard and require exact reconciliation with the "
                          "shard's RunMetrics")
+    fl.add_argument("--journal", default=None, metavar="FILE",
+                    help="record every host shard's lifecycle to an "
+                         "append-only crash-safe journal")
+    fl.add_argument("--resume", default=None, metavar="FILE",
+                    help="resume an interrupted fleet run from its journal "
+                         "(cached shards re-verified byte-for-byte)")
     fl.set_defaults(fn=_cmd_fleet)
 
     te = sub.add_parser(
@@ -763,6 +905,39 @@ def build_parser() -> argparse.ArgumentParser:
                     help="report: span/metrics summary tables for a directory")
     te.add_argument("dir", help="directory written by --telemetry-out")
     te.set_defaults(fn=_cmd_telemetry)
+
+    ca = sub.add_parser(
+        "cache", help="integrity tooling for the on-disk result cache"
+    )
+    ca.add_argument("action", choices=["verify", "gc"],
+                    help="verify: checksum every entry (corrupt files are "
+                         "quarantined; exit 1 if any); gc: remove staging "
+                         "files, stale-version entries and orphan artifacts")
+    ca.add_argument("--no-quarantine", action="store_true",
+                    help="verify: report corrupt files but leave them in place")
+    ca.add_argument("--purge-quarantine", action="store_true",
+                    help="gc: also delete previously quarantined files")
+    ca.set_defaults(fn=_cmd_cache)
+
+    ch = sub.add_parser(
+        "chaos", help="seeded fault-injection smoke for the resilience layer"
+    )
+    ch.add_argument("action", choices=["fleet-smoke"],
+                    help="fleet-smoke: SIGKILL workers, simulate a harness "
+                         "crash, corrupt the cache, resume from the journal, "
+                         "and require byte-identical fleet aggregates")
+    ch.add_argument("file", help="matrix file with a [fleets.*] axis")
+    ch.add_argument("--kills", type=int, default=1, metavar="N",
+                    help="SIGKILL the workers executing N seeded-random cells")
+    ch.add_argument("--abort-after", type=int, default=None, metavar="N",
+                    help="simulate the harness dying after N settled cells "
+                         "(the resume path's reason to exist)")
+    ch.add_argument("--corrupt", type=int, default=1, metavar="N",
+                    help="corrupt a seeded-random cached entry between crash "
+                         "and resume (0 disables)")
+    ch.add_argument("--chaos-seed", type=int, default=0,
+                    help="seed for victim selection (same seed, same faults)")
+    ch.set_defaults(fn=_cmd_chaos)
 
     run = sub.add_parser("run", help="run one PARSEC model and print its profile")
     run.add_argument("benchmark", choices=list(parsec.BENCHMARK_NAMES))

@@ -12,12 +12,29 @@ executes it:
   (:func:`spec_key`); finished runs are stored as JSON under that key
   and re-running a benchmark only executes changed cells;
 * **fault tolerance** — a per-run timeout (enforced *inside* the worker
-  via ``SIGALRM``, so a stuck run cannot wedge the pool) and one
-  automatic retry for raising/timing-out/crashing workers; what still
-  fails lands in :attr:`GridResult.failed_specs` instead of sinking the
-  rest of the grid;
+  via ``SIGALRM``, so a stuck run cannot wedge the pool) and automatic
+  retries (with the :class:`~repro.resilience.policy.RetryPolicy`
+  backoff ladder) for raising/timing-out/crashing workers; what still
+  fails lands in :attr:`GridResult.failed_specs` — classified as
+  ``timeout`` / ``crash`` / ``error`` — instead of sinking the rest of
+  the grid. Pool rebuilds after worker crashes are capped, and a
+  failure-rate circuit breaker shrinks the pool and falls back to
+  serial before giving up (:mod:`repro.resilience.policy`);
+* **crash safety** — an optional append-only run *journal*
+  (:mod:`repro.resilience.journal`) records every cell's lifecycle;
+  ``resume=`` replays it, skipping completed cells after re-verifying
+  their cached bytes against the journaled result hash. Cache files
+  carry checksum footers; corrupt entries are quarantined (demoted to
+  miss, never fatal) by :mod:`repro.resilience.integrity`;
+* **chaos** — a :class:`~repro.resilience.chaos.ChaosPolicy` injects
+  deterministic faults (worker SIGKILL, delays, simulated harness
+  crash, filesystem failures via the injectable ``cache_fs`` shim) so
+  every recovery path above is exercised in tests;
 * **progress** — an optional callback receives a
-  :class:`ProgressEvent` per finished cell (the CLI prints these).
+  :class:`ProgressEvent` per finished cell (the CLI prints these), and
+  every grid returns a structured
+  :class:`~repro.resilience.policy.RunReport`
+  (completed / degraded / failed) in :attr:`GridResult.report`.
 
 A :class:`RunSpec` is declarative: the workload is named by a
 :class:`WorkloadSpec` (factory kind + keyword parameters) rather than a
@@ -38,7 +55,8 @@ import signal
 import threading
 import time
 import warnings
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from collections import Counter
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass, field, fields
 from pathlib import Path
@@ -49,6 +67,10 @@ from repro.errors import ReproError
 from repro.host.perturb import perturbation_from_dict, perturbation_to_dict
 from repro.metrics.perf import RunMetrics
 from repro.metrics.report import Comparison, compare_runs
+from repro.resilience.chaos import ChaosAbort
+from repro.resilience.integrity import CacheFS, attach_footer, quarantine_file, split_verified
+from repro.resilience.journal import JournalState, RunJournal, replay_journal, result_hash
+from repro.resilience.policy import CircuitBreaker, RetryPolicy, RunReport, classify_failure
 
 #: Bump when the spec encoding or result encoding changes shape —
 #: invalidates every previously cached result.
@@ -60,6 +82,11 @@ DEFAULT_TIMEOUT_S = 600.0
 #: Default cache location; override with ``REPRO_CACHE_DIR`` or the
 #: ``cache_dir`` argument. Kept repo-local (and git-ignored).
 DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: A worker crash costs the whole pool; rebuilding forever against a
+#: deterministic crasher is an outage, not resilience. After this many
+#: rebuilds the remaining cells fail with a clear error instead.
+DEFAULT_MAX_POOL_REBUILDS = 3
 
 
 class GridError(ReproError):
@@ -427,7 +454,7 @@ def _alarm(seconds: Optional[float]):
         signal.signal(signal.SIGALRM, prev)
 
 
-def _worker_run(spec: RunSpec, timeout_s: Optional[float]) -> dict:
+def _worker_run(spec: RunSpec, timeout_s: Optional[float], chaos=None) -> dict:
     """Pool entry point: execute one spec under its timeout, encoded.
 
     A profile artifact (``spec.profile``) rides back in the ``"obs"``
@@ -437,9 +464,16 @@ def _worker_run(spec: RunSpec, timeout_s: Optional[float]) -> dict:
     :attr:`GridResult.series`. ``"wall_s"`` / ``"pid"`` carry the
     in-worker wall-clock and worker identity for harness telemetry
     (also stripped before the result is cached).
+
+    ``chaos`` (a :class:`~repro.resilience.chaos.ChaosPolicy`) is
+    consulted before execution: it may delay this cell past its
+    timeout or SIGKILL the worker — inside the alarm scope, so an
+    injected delay fails exactly like a genuinely stuck run.
     """
     t0 = time.monotonic()
     with _alarm(timeout_s):
+        if chaos is not None:
+            chaos.maybe_injure(spec_key(spec))
         result, obs, series = execute_spec_full(spec)
         encoded = encode_result(result)
         if obs is not None:
@@ -459,12 +493,33 @@ class ResultCache:
     """Content-addressed on-disk store of encoded run results.
 
     Layout: ``<root>/<key[:2]>/<key>.json``, one file per spec, written
-    atomically (tmp + rename). A corrupted, truncated or stale-format
-    file is discarded on read — never fatal.
+    atomically (tmp + rename) with a checksum footer
+    (:func:`repro.resilience.integrity.attach_footer`). On read the
+    footer is verified: a corrupt file is moved to the cache's
+    ``quarantine/`` directory and treated as a miss — never fatal, and
+    never silently trusted. A footer-less ("legacy") file that still
+    parses stays readable. Structurally stale entries (old
+    ``CACHE_VERSION``, wrong shape) are plain-discarded as before —
+    staleness is not corruption.
+
+    Multi-file entries (result + profile/series artifacts) go through
+    :meth:`store_entry`, which stages the whole set in a temp directory
+    and publishes the result file *last* — an interruption leaves
+    either a complete entry or a cold miss, never a result whose
+    artifacts are missing.
+
+    All filesystem traffic goes through an injectable
+    :class:`~repro.resilience.integrity.CacheFS` shim so the chaos
+    harness can fail chosen writes deterministically.
     """
 
-    def __init__(self, root: str | os.PathLike | None = None) -> None:
+    def __init__(self, root: str | os.PathLike | None = None, *,
+                 fs: Optional[CacheFS] = None,
+                 on_quarantine: Optional[Callable[[Path, Optional[Path]], None]] = None,
+                 ) -> None:
         self.root = Path(root or os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR))
+        self.fs = fs or CacheFS()
+        self.on_quarantine = on_quarantine
 
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
@@ -477,15 +532,35 @@ class ResultCache:
         """Time-series artifact sibling (``<key>.series.json``)."""
         return self.root / key[:2] / f"{key}.series.json"
 
+    def _read_json(self, path: Path) -> Any | None:
+        """Footer-verified JSON payload of ``path``, or None.
+
+        Missing file → miss. Corrupt bytes (failed checksum, or a
+        legacy file that does not parse) → quarantine + miss. A legacy
+        footer-less file that parses is served as-is.
+        """
+        try:
+            text = self.fs.read_text(path)
+        except FileNotFoundError:
+            return None
+        except OSError:
+            self._quarantine(path)
+            return None
+        body, status = split_verified(text)
+        if status == "corrupt":
+            self._quarantine(path)
+            return None
+        try:
+            return json.loads(body if body is not None else text)
+        except ValueError:
+            self._quarantine(path)
+            return None
+
     def load(self, spec: RunSpec) -> Any | None:
         """Decoded result for ``spec``, or None on miss/corruption."""
         path = self.path_for(spec_key(spec))
-        try:
-            payload = json.loads(path.read_text())
-        except FileNotFoundError:
-            return None
-        except (OSError, ValueError):
-            self._discard(path)
+        payload = self._read_json(path)
+        if payload is None:
             return None
         try:
             if payload["version"] != CACHE_VERSION:
@@ -495,28 +570,73 @@ class ResultCache:
             self._discard(path)
             return None
 
-    def store(self, spec: RunSpec, encoded: dict) -> Path:
-        key = spec_key(spec)
-        path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
-        tmp.write_text(json.dumps(
+    def _result_body(self, spec: RunSpec, encoded: dict, key: str) -> str:
+        return json.dumps(
             {"version": CACHE_VERSION, "key": key, "spec": spec_to_dict(spec),
              "result": encoded},
             sort_keys=True,
-        ))
-        os.replace(tmp, path)
+        )
+
+    def _write_atomic(self, path: Path, body: str) -> Path:
+        """Publish ``attach_footer(body)`` at ``path`` via tmp + rename."""
+        self.fs.mkdir(path.parent)
+        tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+        try:
+            self.fs.write_text(tmp, attach_footer(body))
+            self.fs.replace(tmp, path)
+        except OSError:
+            self.fs.unlink(tmp)
+            raise
         return path
+
+    def store(self, spec: RunSpec, encoded: dict) -> Path:
+        key = spec_key(spec)
+        return self._write_atomic(self.path_for(key),
+                                  self._result_body(spec, encoded, key))
+
+    def store_entry(self, spec: RunSpec, encoded: dict, *,
+                    obs: Optional[dict] = None,
+                    series: Optional[dict] = None) -> Path:
+        """Store a result plus its artifacts as one atomic unit.
+
+        Everything is staged in a throwaway directory first, then
+        renamed into place with the result file **last** — the cache's
+        hit predicate requires a profiled/series entry's artifacts to
+        be present, so any interruption before the final rename reads
+        as a cold miss, not a torn entry.
+        """
+        key = spec_key(spec)
+        result_path = self.path_for(key)
+        plan: list[tuple[Path, str]] = []
+        if obs is not None:
+            plan.append((self.artifact_path_for(key), json.dumps(obs, sort_keys=True)))
+        if series is not None:
+            plan.append((self.series_path_for(key), json.dumps(series, sort_keys=True)))
+        plan.append((result_path, self._result_body(spec, encoded, key)))
+        if len(plan) == 1:
+            return self._write_atomic(result_path, plan[0][1])
+        stage = result_path.parent / f".stage-{os.getpid()}-{key[:8]}"
+        self.fs.mkdir(stage)
+        staged: list[tuple[Path, Path]] = []
+        try:
+            for path, body in plan:
+                tmp = stage / path.name
+                self.fs.write_text(tmp, attach_footer(body))
+                staged.append((tmp, path))
+            for tmp, path in staged:  # result file is last in `plan`
+                self.fs.replace(tmp, path)
+        finally:
+            for tmp, _ in staged:
+                self.fs.unlink(tmp)
+            with contextlib.suppress(OSError):
+                stage.rmdir()
+        return result_path
 
     def load_artifact(self, spec: RunSpec) -> Optional[dict]:
         """Cached profile artifact for ``spec``, or None."""
         path = self.artifact_path_for(spec_key(spec))
-        try:
-            payload = json.loads(path.read_text())
-        except FileNotFoundError:
-            return None
-        except (OSError, ValueError):
-            self._discard(path)
+        payload = self._read_json(path)
+        if payload is None:
             return None
         if not isinstance(payload, dict):
             self._discard(path)
@@ -524,22 +644,14 @@ class ResultCache:
         return payload
 
     def store_artifact(self, spec: RunSpec, obs: dict) -> Path:
-        path = self.artifact_path_for(spec_key(spec))
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
-        tmp.write_text(json.dumps(obs, sort_keys=True))
-        os.replace(tmp, path)
-        return path
+        return self._write_atomic(self.artifact_path_for(spec_key(spec)),
+                                  json.dumps(obs, sort_keys=True))
 
     def load_series(self, spec: RunSpec) -> Optional[dict]:
         """Cached time-series artifact for ``spec``, or None."""
         path = self.series_path_for(spec_key(spec))
-        try:
-            payload = json.loads(path.read_text())
-        except FileNotFoundError:
-            return None
-        except (OSError, ValueError):
-            self._discard(path)
+        payload = self._read_json(path)
+        if payload is None:
             return None
         if not isinstance(payload, dict):
             self._discard(path)
@@ -547,17 +659,32 @@ class ResultCache:
         return payload
 
     def store_series(self, spec: RunSpec, series: dict) -> Path:
-        path = self.series_path_for(spec_key(spec))
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
-        tmp.write_text(json.dumps(series, sort_keys=True))
-        os.replace(tmp, path)
-        return path
+        return self._write_atomic(self.series_path_for(spec_key(spec)),
+                                  json.dumps(series, sort_keys=True))
 
-    @staticmethod
-    def _discard(path: Path) -> None:
-        with contextlib.suppress(OSError):
-            path.unlink()
+    def quarantine_entry(self, key: str) -> int:
+        """Quarantine every file of entry ``key`` (result + artifacts).
+
+        Used when an entry's *content* is suspect as a unit — e.g. a
+        resume re-verification hash mismatch — not just one file's
+        bytes. Returns how many files were moved.
+        """
+        moved = 0
+        for path in (self.path_for(key), self.artifact_path_for(key),
+                     self.series_path_for(key)):
+            if path.exists():
+                self._quarantine(path)
+                moved += 1
+        return moved
+
+    def _quarantine(self, path: Path) -> None:
+        target = quarantine_file(self.root, path, self.fs)
+        if self.on_quarantine is not None:
+            with contextlib.suppress(Exception):
+                self.on_quarantine(path, target)
+
+    def _discard(self, path: Path) -> None:
+        self.fs.unlink(path)
 
 
 # --------------------------------------------------------------------------
@@ -569,7 +696,7 @@ class ProgressEvent:
     """One cell of the grid settled (from cache, a run, or failure)."""
 
     spec: RunSpec
-    #: "cached" | "ran" | "retry" | "failed"
+    #: "cached" | "resumed" | "ran" | "retry" | "failed"
     status: str
     done: int
     total: int
@@ -582,6 +709,8 @@ class ProgressEvent:
     duration_s: Optional[float] = None
     #: True when the cell was served from the result cache.
     cache_hit: bool = False
+    #: For "retry"/"failed": "timeout" | "crash" | "error"; else None.
+    failure_kind: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -591,6 +720,8 @@ class FailedSpec:
     spec: RunSpec
     error: str
     attempts: int
+    #: What killed the last attempt: "timeout" | "crash" | "error".
+    kind: str = "error"
 
 
 @dataclass
@@ -608,6 +739,9 @@ class GridResult:
     #: Windowed in-sim time series for specs run with ``series=True``
     #: (the :meth:`repro.obs.Observability.series_json` payload).
     series: dict[RunSpec, dict] = field(default_factory=dict)
+    #: Structured resilience outcome (retries by kind, resume stats,
+    #: degradation ladder steps); populated by every run_grid call.
+    report: Optional[RunReport] = None
 
     @property
     def complete(self) -> bool:
@@ -616,6 +750,10 @@ class GridResult:
     def ordered(self) -> list[Any]:
         """Results aligned with the input spec order (None where failed)."""
         return [self.results.get(s) for s in self.specs]
+
+    def failed_by_kind(self) -> Counter:
+        """Failure counts keyed by kind ("timeout" / "crash" / "error")."""
+        return Counter(f.kind for f in self.failed_specs)
 
     def __getitem__(self, spec: RunSpec) -> Any:
         try:
@@ -628,8 +766,11 @@ class GridResult:
         """For drivers that need the *full* grid (tables, aggregates)."""
         if self.failed_specs:
             names = ", ".join(f.spec.display_label() for f in self.failed_specs[:5])
+            kinds = ", ".join(f"{k}: {v}" for k, v in
+                              sorted(self.failed_by_kind().items()))
             raise GridError(
-                f"{len(self.failed_specs)} grid cell(s) failed (first: {names}); "
+                f"{len(self.failed_specs)} grid cell(s) failed ({kinds}) "
+                f"(first: {names}); "
                 f"last error: {self.failed_specs[-1].error}"
             )
         return self
@@ -652,15 +793,44 @@ def run_grid(
     retries: int = 1,
     progress: Optional[Callable[[ProgressEvent], None]] = None,
     telemetry=None,
+    retry_policy: Optional[RetryPolicy] = None,
+    journal: "RunJournal | os.PathLike | str | None" = None,
+    resume: "JournalState | os.PathLike | str | None" = None,
+    chaos=None,
+    max_pool_rebuilds: int = DEFAULT_MAX_POOL_REBUILDS,
+    breaker: Optional[CircuitBreaker] = None,
+    cache_fs: Optional[CacheFS] = None,
 ) -> GridResult:
     """Execute a grid of specs, using the cache and ``jobs`` workers.
 
     ``jobs=None``/``0``/``1`` executes serially in-process (still using
     the cache); ``jobs=N`` fans out across N worker processes. Each
     failing cell (exception, timeout, worker crash) is retried
-    ``retries`` times and then reported in
-    :attr:`GridResult.failed_specs` — the rest of the grid completes
-    regardless.
+    ``retries`` times — with the backoff schedule of ``retry_policy``,
+    which overrides ``retries`` when given — and then reported in
+    :attr:`GridResult.failed_specs`, classified as timeout / crash /
+    error; the rest of the grid completes regardless. Pool rebuilds
+    after worker crashes are capped at ``max_pool_rebuilds``, and the
+    ``breaker`` (a :class:`~repro.resilience.policy.CircuitBreaker`,
+    default-constructed when None) degrades the pool — half the
+    workers, then serial in-process — when the failure rate trips it.
+
+    ``journal`` (a path or an open
+    :class:`~repro.resilience.journal.RunJournal`) records every cell's
+    lifecycle durably. ``resume`` (a path or a replayed
+    :class:`~repro.resilience.journal.JournalState`) replays a previous
+    journal: cells it witnessed as done are served from the cache after
+    **re-verifying** their bytes against the journaled result hash —
+    a mismatch quarantines the entry and re-runs the cell; resuming
+    against a changed matrix raises
+    :class:`~repro.resilience.journal.ResumeError`. Passing both (the
+    usual ``--resume`` shape) appends the new lifecycle to the same
+    journal file.
+
+    ``chaos`` (a :class:`~repro.resilience.chaos.ChaosPolicy`) and
+    ``cache_fs`` (a :class:`~repro.resilience.integrity.CacheFS`)
+    inject deterministic faults for the chaos battery; both default to
+    "no faults".
 
     ``telemetry`` (a :class:`repro.telemetry.HarnessTelemetry`) records
     wall-clock spans, cache instants and counters for every state
@@ -678,9 +848,38 @@ def run_grid(
     spec_list = list(specs)
     unique: dict[RunSpec, None] = dict.fromkeys(spec_list)
     total = len(unique)
-    cache = ResultCache(cache_dir) if use_cache else None
-    result = GridResult(specs=spec_list, results={})
+    report = RunReport(cells=total)
+
+    def note_quarantine(path: Path, moved: Optional[Path]) -> None:
+        report.quarantined += 1
+        if tel is not None:
+            tel.instant("cache.quarantine", lane="cache", path=str(path))
+            tel.counter("cache_quarantined", help="corrupt cache files quarantined")
+
+    cache = (ResultCache(cache_dir, fs=cache_fs, on_quarantine=note_quarantine)
+             if use_cache else None)
+    result = GridResult(specs=spec_list, results={}, report=report)
     done = 0
+
+    policy = retry_policy if retry_policy is not None else RetryPolicy(retries=retries)
+    retries = policy.retries
+    keys: dict[RunSpec, str] = {spec: spec_key(spec) for spec in unique}
+
+    resume_state: Optional[JournalState] = None
+    if resume is not None:
+        resume_state = (resume if isinstance(resume, JournalState)
+                        else replay_journal(resume))
+        resume_state.check_digest(keys.values())
+
+    own_journal = False
+    if journal is not None and not isinstance(journal, RunJournal):
+        journal = (RunJournal.resume(journal) if resume_state is not None
+                   else RunJournal.create(journal, keys.values()))
+        own_journal = True
+
+    def jrecord(event: str, spec: RunSpec, **extra: Any) -> None:
+        if journal is not None:
+            journal.record(event, keys[spec], **extra)
 
     grid_span = (
         tel.span("grid.run", cells=total, jobs=jobs or 1)
@@ -689,13 +888,13 @@ def run_grid(
 
     def emit(spec: RunSpec, status: str, attempt: int = 1,
              error: str | None = None, duration_s: Optional[float] = None,
-             cache_hit: bool = False) -> None:
+             cache_hit: bool = False, failure_kind: Optional[str] = None) -> None:
         nonlocal progress
         if progress is None:
             return
         try:
             progress(ProgressEvent(spec, status, done, total, attempt, error,
-                                   duration_s, cache_hit))
+                                   duration_s, cache_hit, failure_kind))
         except Exception as exc:
             warnings.warn(
                 f"progress callback disabled after raising {exc!r}",
@@ -711,35 +910,85 @@ def run_grid(
             tel.observe("shard_wall_ns", duration_ns,
                         help="per-attempt shard wall-clock", status=status)
 
-    with grid_span as grid_attrs:
+    with contextlib.ExitStack() as _stack:
+        grid_attrs = _stack.enter_context(grid_span)
+        if own_journal:
+            _stack.callback(journal.close)
+
+        def settle_hit(spec: RunSpec, hit: Any, art: Optional[dict],
+                       ser: Optional[dict], status: str) -> None:
+            nonlocal done
+            result.results[spec] = hit
+            if art is not None:
+                result.artifacts[spec] = art
+            if ser is not None:
+                result.series[spec] = ser
+            result.cache_hits += 1
+            done += 1
+            if tel is not None:
+                tel.instant("cache.hit", lane="cache", spec=spec.display_label())
+                tel.counter("cache_hits", help="grid cells served from cache")
+                tel_settle(spec, status, None)
+            emit(spec, status, cache_hit=True)
+
         pending: list[RunSpec] = []
         for spec in unique:
+            key = keys[spec]
             hit = cache.load(spec) if cache is not None else None
             art = cache.load_artifact(spec) if cache is not None and spec.profile else None
             ser = cache.load_series(spec) if cache is not None and spec.series else None
             if tel is not None and cache is not None:
                 tel.instant("cache.probe", lane="cache", spec=spec.display_label())
-            if hit is not None and (not spec.profile or art is not None) \
-                    and (not spec.series or ser is not None):
-                # A profiled (or series) spec only counts as a hit when
-                # its artifacts are present too — a result without them
-                # is a miss.
-                result.results[spec] = hit
-                if art is not None:
-                    result.artifacts[spec] = art
-                if ser is not None:
-                    result.series[spec] = ser
-                result.cache_hits += 1
-                done += 1
+            # A profiled (or series) spec only counts as a hit when
+            # its artifacts are present too — a result without them
+            # is a miss.
+            full_hit = (hit is not None
+                        and (not spec.profile or art is not None)
+                        and (not spec.series or ser is not None))
+            want_hash = (resume_state.done.get(key)
+                         if resume_state is not None else None)
+            if full_hit and want_hash is not None:
+                actual = result_hash(encode_result(hit))
+                if actual == want_hash:
+                    report.resumed += 1
+                    report.reverified += 1
+                    if tel is not None:
+                        tel.instant("resume.hit", lane="cache",
+                                    spec=spec.display_label())
+                        tel.counter("cells_resumed",
+                                    help="cells skipped via journal resume")
+                        tel.counter("cells_reverified",
+                                    help="resumed cells re-verified against "
+                                         "the journaled result hash")
+                    jrecord("resumed", spec, result_hash=actual)
+                    settle_hit(spec, hit, art, ser, "resumed")
+                    continue
+                # The cached bytes no longer match what the journal
+                # witnessed: the entry is suspect as a unit — quarantine
+                # it and re-run the cell.
+                report.resume_mismatches += 1
+                cache.quarantine_entry(key)
                 if tel is not None:
-                    tel.instant("cache.hit", lane="cache", spec=spec.display_label())
-                    tel.counter("cache_hits", help="grid cells served from cache")
-                    tel_settle(spec, "cached", None)
-                emit(spec, "cached", cache_hit=True)
+                    tel.instant("resume.mismatch", lane="cache",
+                                spec=spec.display_label())
+                    tel.counter("resume_mismatches",
+                                help="resume re-verification failures")
+                full_hit = False
+                hit = None
+            if full_hit:
+                if journal is not None:
+                    jrecord("cached", spec, result_hash=result_hash(encode_result(hit)))
+                settle_hit(spec, hit, art, ser, "cached")
             else:
+                if want_hash is not None and tel is not None:
+                    # The journal says done but the cache cannot serve it
+                    # (evicted, corrupt, or just quarantined): re-run.
+                    tel.instant("resume.miss", lane="cache",
+                                spec=spec.display_label())
                 if tel is not None and cache is not None:
                     tel.instant("cache.miss", lane="cache", spec=spec.display_label())
                     tel.counter("cache_misses", help="grid cells not in cache")
+                jrecord("scheduled", spec)
                 pending.append(spec)
 
         def settle_ok(spec: RunSpec, encoded: dict) -> None:
@@ -764,11 +1013,7 @@ def run_grid(
                 tel_settle(spec, "ran", wall_ns)
             if cache is not None:
                 try:
-                    cache.store(spec, encoded)
-                    if obs is not None:
-                        cache.store_artifact(spec, obs)
-                    if series is not None:
-                        cache.store_series(spec, series)
+                    cache.store_entry(spec, encoded, obs=obs, series=series)
                     if tel is not None:
                         tel.instant("cache.write", lane="cache",
                                     spec=spec.display_label())
@@ -781,69 +1026,112 @@ def run_grid(
                         RuntimeWarning, stacklevel=2,
                     )
                     cache = None
+            if journal is not None:
+                jrecord("done", spec, result_hash=result_hash(encoded))
             done += 1
             emit(spec, "ran", duration_s=wall_s)
 
         def settle_failed(spec: RunSpec, error: str, attempts: int,
-                          duration_s: Optional[float] = None) -> None:
+                          duration_s: Optional[float] = None,
+                          kind: str = "error") -> None:
             nonlocal done
-            result.failed_specs.append(FailedSpec(spec, error, attempts))
+            result.failed_specs.append(FailedSpec(spec, error, attempts, kind))
+            report.failures[kind] += 1
             done += 1
             if tel is not None:
                 tel.instant("shard.failed", spec=spec.display_label(),
-                            error=error, attempts=attempts)
+                            error=error, attempts=attempts, kind=kind)
                 tel_settle(spec, "failed",
                            int(duration_s * 1e9) if duration_s is not None else None)
-            emit(spec, "failed", attempts, error, duration_s)
+            jrecord("failed", spec, error=error, kind=kind, attempts=attempts)
+            emit(spec, "failed", attempts, error, duration_s, failure_kind=kind)
 
         def note_retry(spec: RunSpec, attempt: int, error: str,
-                       duration_s: Optional[float]) -> None:
+                       duration_s: Optional[float], kind: str = "error") -> None:
+            report.retries[kind] += 1
             if tel is not None:
                 tel.instant("shard.retry", spec=spec.display_label(),
-                            error=error, attempt=attempt)
+                            error=error, attempt=attempt, kind=kind)
                 tel_settle(spec, "retry",
                            int(duration_s * 1e9) if duration_s is not None else None)
-            emit(spec, "retry", attempt, error, duration_s)
+            emit(spec, "retry", attempt, error, duration_s, failure_kind=kind)
 
-        if not pending:
-            if tel is not None:
-                grid_attrs.update(cache_hits=result.cache_hits, executed=0,
-                                  failed=len(result.failed_specs))
-            return result
+        def maybe_abort() -> None:
+            if chaos is None or getattr(chaos, "abort_after", None) is None:
+                return
+            settled_live = result.executed + len(result.failed_specs)
+            if settled_live >= chaos.abort_after:
+                if tel is not None:
+                    tel.instant("chaos.abort", after=settled_live)
+                raise ChaosAbort(
+                    f"chaos: simulated harness crash after {settled_live} "
+                    f"settled cell(s)")
 
-        if not jobs or jobs <= 1:
-            for spec in pending:
-                attempt = 0
-                while True:
-                    attempt += 1
-                    t0 = time.monotonic()
-                    try:
-                        settle_ok(spec, _worker_run(spec, timeout_s))
-                        break
-                    except Exception as exc:
-                        elapsed = time.monotonic() - t0
-                        if attempt > retries:
-                            settle_failed(spec, repr(exc), attempt, elapsed)
-                            break
-                        note_retry(spec, attempt, repr(exc), elapsed)
+        def finish() -> GridResult:
+            report.cache_hits = result.cache_hits
+            report.executed = result.executed
             if tel is not None:
                 grid_attrs.update(cache_hits=result.cache_hits,
                                   executed=result.executed,
                                   failed=len(result.failed_specs))
             return result
 
+        def run_serial(pend: list[RunSpec]) -> None:
+            for spec in pend:
+                attempt = 0
+                while True:
+                    attempt += 1
+                    t0 = time.monotonic()
+                    try:
+                        jrecord("started", spec, attempt=attempt)
+                        settle_ok(spec, _worker_run(spec, timeout_s, chaos))
+                        break
+                    except ChaosAbort:
+                        raise
+                    except Exception as exc:
+                        elapsed = time.monotonic() - t0
+                        kind = classify_failure(exc)
+                        if attempt > retries:
+                            settle_failed(spec, repr(exc), attempt, elapsed, kind)
+                            break
+                        note_retry(spec, attempt, repr(exc), elapsed, kind)
+                        delay = policy.delay_s(keys[spec], attempt)
+                        if delay > 0:
+                            time.sleep(delay)
+                maybe_abort()
+
+        if not pending:
+            return finish()
+
+        if not jobs or jobs <= 1:
+            run_serial(pending)
+            return finish()
+
         ctx = _pool_context()
         attempts: dict[RunSpec, int] = {s: 1 for s in pending}
-        pool = ProcessPoolExecutor(max_workers=jobs, mp_context=ctx)
+        cur_jobs = jobs
+        rebuilds = 0
+        brk = breaker if breaker is not None else CircuitBreaker()
+        pool = ProcessPoolExecutor(max_workers=cur_jobs, mp_context=ctx)
         if tel is not None:
-            tel.gauge("pool_workers", jobs, help="process pool size")
+            tel.gauge("pool_workers", cur_jobs, help="process pool size")
         submitted_at: dict[Any, float] = {}
 
         def submit(p, spec: RunSpec):
-            fut = p.submit(_worker_run, spec, timeout_s)
+            jrecord("started", spec, attempt=attempts[spec])
+            try:
+                fut = p.submit(_worker_run, spec, timeout_s, chaos)
+            except BrokenProcessPool as exc:
+                # The pool died while we were still submitting (a very
+                # fast worker crash). Hand back a dead future carrying
+                # the breakage so the wait loop's rebuild logic handles
+                # it exactly like a crash observed in flight.
+                fut = Future()
+                fut.set_exception(exc)
             submitted_at[fut] = time.monotonic()
             return fut
 
+        serial_fallback: list[RunSpec] = []
         in_flight: dict[Any, RunSpec] = {submit(pool, spec): spec for spec in pending}
         try:
             while in_flight:
@@ -863,7 +1151,24 @@ def run_grid(
                         submitted_at.clear()
                         with contextlib.suppress(Exception):
                             pool.shutdown(wait=False, cancel_futures=True)
-                        pool = ProcessPoolExecutor(max_workers=jobs, mp_context=ctx)
+                        rebuilds += 1
+                        report.pool_rebuilds += 1
+                        brk.record(False)
+                        if rebuilds > max_pool_rebuilds:
+                            # A pool that cannot stay alive is an outage,
+                            # not a transient: fail what is left with a
+                            # clear error instead of rebuilding forever.
+                            pool = None
+                            for s in casualties:
+                                settle_failed(
+                                    s,
+                                    f"pool rebuild cap reached "
+                                    f"({max_pool_rebuilds}); last crash: {exc!r}",
+                                    attempts[s], elapsed, "crash")
+                            maybe_abort()
+                            break
+                        pool = ProcessPoolExecutor(max_workers=cur_jobs,
+                                                   mp_context=ctx)
                         if tel is not None:
                             tel.instant("pool.rebuild", error=repr(exc),
                                         casualties=len(casualties))
@@ -871,31 +1176,78 @@ def run_grid(
                                         help="process pool crash recoveries")
                         for s in casualties:
                             if attempts[s] > retries:
-                                settle_failed(s, repr(exc), attempts[s], elapsed)
+                                settle_failed(s, repr(exc), attempts[s],
+                                              elapsed, "crash")
                             else:
-                                note_retry(s, attempts[s], repr(exc), elapsed)
+                                note_retry(s, attempts[s], repr(exc), elapsed,
+                                           "crash")
                                 attempts[s] += 1
                                 in_flight[submit(pool, s)] = s
+                        maybe_abort()
                         pool_broken = True
                     except Exception as exc:  # worker raised (incl. RunTimeout)
+                        kind = classify_failure(exc)
+                        brk.record(False)
                         if attempts[spec] > retries:
-                            settle_failed(spec, repr(exc), attempts[spec], elapsed)
+                            settle_failed(spec, repr(exc), attempts[spec],
+                                          elapsed, kind)
                         else:
-                            note_retry(spec, attempts[spec], repr(exc), elapsed)
+                            note_retry(spec, attempts[spec], repr(exc), elapsed,
+                                       kind)
                             attempts[spec] += 1
+                            delay = policy.delay_s(keys[spec], attempts[spec] - 1)
+                            if delay > 0:
+                                time.sleep(delay)
                             in_flight[submit(pool, spec)] = spec
+                        maybe_abort()
                     else:
+                        brk.record(True)
                         settle_ok(spec, encoded)
+                        maybe_abort()
                     if pool_broken:
                         break  # `in_flight` was rebuilt wholesale; re-wait
+
+                if in_flight and pool is not None and brk.tripped:
+                    # Degradation ladder: the windowed failure rate
+                    # crossed the breaker threshold. First trip halves
+                    # the pool; the next falls back to serial in-process
+                    # execution — degrade before giving up.
+                    unsettled = list(in_flight.values())
+                    in_flight.clear()
+                    submitted_at.clear()
+                    with contextlib.suppress(Exception):
+                        pool.shutdown(wait=False, cancel_futures=True)
+                    step = brk.trip_and_reset()
+                    if step == 1 and cur_jobs > 1:
+                        cur_jobs = max(1, cur_jobs // 2)
+                        report.degradation.append(f"pool shrunk to {cur_jobs}")
+                        if tel is not None:
+                            tel.instant("pool.degrade", step=step, jobs=cur_jobs)
+                            tel.counter("pool_degrades",
+                                        help="degradation ladder steps")
+                            tel.gauge("pool_workers", cur_jobs,
+                                      help="process pool size")
+                        pool = ProcessPoolExecutor(max_workers=cur_jobs,
+                                                   mp_context=ctx)
+                        for s in unsettled:
+                            in_flight[submit(pool, s)] = s
+                    else:
+                        report.degradation.append("fell back to serial")
+                        if tel is not None:
+                            tel.instant("pool.degrade", step=step, jobs=1,
+                                        mode="serial")
+                            tel.counter("pool_degrades",
+                                        help="degradation ladder steps")
+                        pool = None
+                        serial_fallback = unsettled
+                        break
         finally:
-            with contextlib.suppress(Exception):
-                pool.shutdown(wait=False, cancel_futures=True)
-        if tel is not None:
-            grid_attrs.update(cache_hits=result.cache_hits,
-                              executed=result.executed,
-                              failed=len(result.failed_specs))
-        return result
+            if pool is not None:
+                with contextlib.suppress(Exception):
+                    pool.shutdown(wait=False, cancel_futures=True)
+        if serial_fallback:
+            run_serial(serial_fallback)
+        return finish()
 
 
 def progress_reporter(stream=None):

@@ -32,6 +32,9 @@ def run_fleet(
     progress: Optional[Callable] = None,
     series: bool = False,
     telemetry=None,
+    journal=None,
+    resume=None,
+    chaos=None,
 ) -> tuple[FleetAggregate, GridResult]:
     """Run every host of ``fleet`` and aggregate.
 
@@ -42,6 +45,11 @@ def run_fleet(
     :class:`~repro.experiments.parallel.GridError` if any host failed:
     a fleet aggregate over a partial rack would silently under-count.
 
+    ``journal`` / ``resume`` / ``chaos`` pass straight through to
+    :func:`~repro.experiments.parallel.run_grid` — a resumed fleet
+    re-verifies every journaled host shard against its cached bytes,
+    so the aggregate is byte-identical to an uninterrupted run's.
+
     ``telemetry`` (a :class:`repro.telemetry.HarnessTelemetry`) wraps
     the grid and the aggregation in harness spans; like everywhere
     else, a detached fleet pays one boolean check.
@@ -50,8 +58,11 @@ def run_fleet(
     if series:
         specs = [s.with_(series=True) for s in specs]
     tel = telemetry if (telemetry is not None and telemetry.enabled) else None
+    if resume is not None and journal is None:
+        journal = resume
     kwargs: dict = dict(jobs=jobs, cache_dir=cache_dir, use_cache=use_cache,
-                        progress=progress, telemetry=telemetry)
+                        progress=progress, telemetry=telemetry,
+                        journal=journal, resume=resume, chaos=chaos)
     if timeout_s is not None:
         kwargs["timeout_s"] = timeout_s
     grid = run_grid(specs, **kwargs).raise_if_failed()

@@ -1,0 +1,253 @@
+"""Crash-safe run journal: append-only JSONL lifecycle of a grid.
+
+A long grid (a thousand fleet shards, say) can die at cell 900 — the
+worker OOM-killed past its retry budget, the harness itself SIGKILLed,
+the machine rebooted. Without a durable record, everything not yet in
+the cache is re-scheduled from scratch *and* everything already cached
+is trusted blindly. The journal fixes both halves:
+
+* every cell's lifecycle (``scheduled`` / ``started`` / ``done`` /
+  ``failed`` / ``cached`` / ``resumed``) is appended as one JSON line,
+  flushed and fsynced per record — a crash can lose at most the partial
+  final line, which :func:`replay_journal` tolerates by design;
+* a ``done`` record carries the **result hash** (sha256 over the
+  canonical encoded result bytes), so ``--resume`` does not just skip
+  completed cells — it re-verifies that the cached bytes still decode
+  to exactly what the journal witnessed. A mismatch demotes the entry
+  (quarantine + re-run), preserving the engine's byte-identity
+  guarantee across interruptions;
+* the header pins a **grid digest** (sha256 over the sorted spec keys).
+  Resuming against a changed matrix is a hard :class:`ResumeError`,
+  never a silent partial re-run of the wrong grid.
+
+The journal is deliberately ignorant of :class:`RunSpec` — it speaks
+spec *keys* (the cache's content addresses) so it has no import cycle
+with the engine and replays without rebuilding workloads.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Optional
+
+from repro.errors import ReproError
+
+#: Bump when the journal record shape changes incompatibly.
+JOURNAL_VERSION = 1
+
+
+class JournalError(ReproError):
+    """A journal file could not be written or is structurally unusable."""
+
+
+class ResumeError(JournalError):
+    """A resume request cannot be honored safely (matrix changed, ...)."""
+
+
+def grid_digest(keys: Iterable[str]) -> str:
+    """Stable digest of a grid's identity: sha256 over sorted spec keys."""
+    h = hashlib.sha256()
+    for key in sorted(set(keys)):
+        h.update(key.encode("ascii"))
+        h.update(b"\n")
+    return h.hexdigest()
+
+
+def result_hash(encoded: dict) -> str:
+    """sha256 of a canonical encoded run result (the ``done`` witness).
+
+    Input is the :func:`repro.experiments.parallel.encode_result` dict
+    (after the harness-telemetry side channels are stripped); the same
+    canonical JSON the byte-identity gates compare.
+    """
+    blob = json.dumps(encoded, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class RunJournal:
+    """Append-only JSONL writer for one grid execution.
+
+    Records are durable individually (flush + fsync per line): the
+    cost is noise next to a simulation cell, and it is exactly what
+    makes the final line the *only* thing a crash can corrupt.
+
+    A journal writer is harness-side only — workers never touch it —
+    so there is no cross-process interleaving to defend against.
+    """
+
+    def __init__(self, path: os.PathLike | str, *, fresh: bool = True) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            self._fh = open(self.path, "w" if fresh else "a", encoding="utf-8")
+        except OSError as exc:
+            raise JournalError(f"cannot open journal {self.path}: {exc}") from exc
+
+    @classmethod
+    def create(cls, path: os.PathLike | str, keys: Iterable[str],
+               **meta: Any) -> "RunJournal":
+        """Start a fresh journal for a grid identified by its spec keys."""
+        keys = list(keys)
+        journal = cls(path, fresh=True)
+        journal._write({
+            "type": "header", "version": JOURNAL_VERSION,
+            "grid_digest": grid_digest(keys), "cells": len(set(keys)), **meta,
+        })
+        return journal
+
+    @classmethod
+    def resume(cls, path: os.PathLike | str, **meta: Any) -> "RunJournal":
+        """Re-open an existing journal for appending (a ``--resume`` run)."""
+        journal = cls(path, fresh=False)
+        journal._write({"type": "resume-marker", **meta})
+        return journal
+
+    def record(self, event: str, key: str, **extra: Any) -> None:
+        """Append one cell lifecycle record (durable before returning)."""
+        self._write({"type": "cell", "event": event, "key": key, **extra})
+
+    def _write(self, obj: dict) -> None:
+        if self._fh is None:
+            return
+        try:
+            self._fh.write(json.dumps(obj, sort_keys=True) + "\n")
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+        except (OSError, ValueError):
+            # A journal that cannot be written must not sink the run it
+            # records; the run simply becomes non-resumable from here.
+            try:
+                self._fh.close()
+            except OSError:
+                pass
+            self._fh = None
+
+    def close(self) -> None:
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            except OSError:
+                pass
+            self._fh = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+@dataclass
+class JournalState:
+    """Replayed view of a journal file (what ``--resume`` consumes)."""
+
+    path: str
+    header: dict = field(default_factory=dict)
+    #: spec key -> result hash, for every cell that reached ``done``
+    #: (or was served from cache / verified on a previous resume).
+    done: dict[str, str] = field(default_factory=dict)
+    #: spec key -> last ``failed`` record (error, kind, attempts).
+    failed: dict[str, dict] = field(default_factory=dict)
+    #: keys with a ``started`` but no terminal record (in flight at crash).
+    started: set = field(default_factory=set)
+    records: int = 0
+    #: undecodable lines skipped during replay (>=1 after a torn write).
+    skipped_lines: int = 0
+    #: ``done`` records seen again with the same hash (harmless).
+    duplicate_done: int = 0
+    #: keys whose repeated ``done`` hashes disagreed — excluded from
+    #: ``done`` (re-run is the only safe answer).
+    conflicting: set = field(default_factory=set)
+
+    @property
+    def grid_digest(self) -> Optional[str]:
+        return self.header.get("grid_digest")
+
+    @property
+    def cells(self) -> int:
+        return int(self.header.get("cells", 0))
+
+    def check_digest(self, keys: Iterable[str]) -> None:
+        """Hard-error unless ``keys`` matches the journaled grid."""
+        current = grid_digest(keys)
+        if self.grid_digest is None:
+            raise ResumeError(
+                f"journal {self.path} has no header (empty or truncated at "
+                f"birth); cannot resume from it")
+        if current != self.grid_digest:
+            raise ResumeError(
+                f"journal {self.path} was recorded for a different grid "
+                f"(digest {self.grid_digest[:12]}.. != {current[:12]}..): "
+                f"the matrix changed since the interrupted run — refusing "
+                f"to resume; rerun without --resume")
+
+
+def replay_journal(path: os.PathLike | str) -> JournalState:
+    """Rebuild the resumable state from a journal file.
+
+    Tolerates, by construction rather than by luck:
+
+    * a **truncated final line** (crash mid-append) — skipped, counted;
+    * **duplicate done records** (a cell settled twice across resumes)
+      — idempotent when the hashes agree; conflicting hashes exclude
+      the key from ``done`` so it re-runs;
+    * corrupt interior lines — skipped and counted, never fatal.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ResumeError(f"journal {path} does not exist")
+    state = JournalState(path=str(path))
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                obj = json.loads(stripped)
+            except ValueError:
+                state.skipped_lines += 1
+                continue
+            if not isinstance(obj, dict):
+                state.skipped_lines += 1
+                continue
+            state.records += 1
+            kind = obj.get("type")
+            if kind == "header" and not state.header:
+                state.header = obj
+                continue
+            if kind != "cell":
+                continue
+            event, key = obj.get("event"), obj.get("key")
+            if not isinstance(key, str) or not key:
+                state.skipped_lines += 1
+                continue
+            if event == "started":
+                state.started.add(key)
+            elif event in ("done", "cached", "resumed"):
+                new = obj.get("result_hash")
+                if not isinstance(new, str):
+                    state.skipped_lines += 1
+                    continue
+                old = state.done.get(key)
+                if old is None:
+                    if key not in state.conflicting:
+                        state.done[key] = new
+                elif old == new:
+                    state.duplicate_done += 1
+                else:
+                    state.conflicting.add(key)
+                    del state.done[key]
+                state.started.discard(key)
+                state.failed.pop(key, None)
+            elif event == "failed":
+                state.failed[key] = {
+                    "error": obj.get("error", ""),
+                    "kind": obj.get("kind", "error"),
+                    "attempts": obj.get("attempts", 0),
+                }
+                state.started.discard(key)
+    return state

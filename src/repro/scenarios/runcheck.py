@@ -165,6 +165,29 @@ def run_cells(cells: Iterable[Cell], **grid_kwargs: Any) -> GridResult:
     return run_grid([c.spec for c in cells], **grid_kwargs)
 
 
+def run_cells_resumable(
+    cells: Iterable[Cell],
+    *,
+    journal=None,
+    resume=None,
+    **grid_kwargs: Any,
+) -> GridResult:
+    """:func:`run_cells` with crash-safe journaling and ``--resume``.
+
+    ``journal`` (a path) records every cell's lifecycle durably;
+    ``resume`` (a path) replays a previous journal, skipping completed
+    cells after re-verifying their cached bytes. Resuming without a
+    separate ``journal`` appends the new lifecycle to the resumed file
+    — the common ``--resume run.journal`` shape. Raises
+    :class:`~repro.resilience.journal.ResumeError` when the matrix no
+    longer matches the journaled grid.
+    """
+    if resume is not None and journal is None:
+        journal = resume
+    return run_grid([c.spec for c in cells], journal=journal, resume=resume,
+                    **grid_kwargs)
+
+
 def canonical_result_bytes(result: Any) -> bytes:
     """Deterministic byte encoding of a run result (identity compares)."""
     from repro.experiments.parallel import encode_result

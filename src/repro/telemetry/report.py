@@ -90,11 +90,61 @@ def metrics_summary_rows(metrics: dict) -> list[tuple[str, ...]]:
     return rows
 
 
+#: Counters the recovery section surfaces (journal resume, integrity
+#: quarantine, degradation ladder) — absent counters are simply omitted.
+RESILIENCE_COUNTERS = (
+    ("cells_resumed", "cells resumed from the run journal"),
+    ("cells_reverified", "resumed cells re-verified against journaled hashes"),
+    ("resume_mismatches", "resume re-verifications that failed (re-run)"),
+    ("cache_quarantined", "corrupt cache files quarantined"),
+    ("pool_rebuilds", "process pool crash recoveries"),
+    ("pool_degrades", "degradation ladder steps taken"),
+)
+
+#: Instants counted in the recovery section.
+RESILIENCE_INSTANTS = ("resume.hit", "resume.miss", "resume.mismatch",
+                       "cache.quarantine", "chaos.abort", "pool.degrade",
+                       "pool.rebuild")
+
+
+def resilience_summary_rows(metrics: dict,
+                            records: Iterable[dict] = ()) -> list[tuple[str, str, str]]:
+    """Recovery/resilience readout: resumes, quarantines, degradation.
+
+    Pulls the journal/integrity/degradation counters out of the metrics
+    snapshot and the matching instants out of the span stream, so an
+    operator sees at a glance whether a run leaned on its recovery
+    machinery. Empty when the run was clean and un-resumed.
+    """
+    rows: list[tuple[str, str, str]] = []
+    for name, what in RESILIENCE_COUNTERS:
+        fam = metrics.get(name)
+        if not fam:
+            continue
+        total = 0
+        for s in fam.get("series", []):
+            v = s.get("value")
+            if isinstance(v, (int, float)):
+                total += int(v)
+        rows.append((name, f"{total:,}", what))
+    counts: dict[str, int] = defaultdict(int)
+    for rec in records:
+        if rec.get("type") == "instant" and rec.get("name") in RESILIENCE_INSTANTS:
+            counts[rec["name"]] += 1
+    seen = {name for name, _, _ in rows}
+    for name in sorted(counts):
+        if name not in seen:
+            rows.append((name, f"{counts[name]:,}", "instant events"))
+    return rows
+
+
 def report_lines(out_dir: str) -> Iterable[str]:
     """Full ``telemetry report`` output for one artifact directory."""
     spans_path = os.path.join(out_dir, SPANS_FILE)
     metrics_path = os.path.join(out_dir, METRICS_JSON_FILE)
     found = False
+    records: list[dict] = []
+    metrics: dict = {}
     if os.path.exists(spans_path):
         found = True
         header, records = read_jsonl(spans_path)
@@ -119,6 +169,12 @@ def report_lines(out_dir: str) -> Iterable[str]:
             yield ""
             yield format_table(("metric", "type", "labels", "value"),
                                rows, title="metrics snapshot")
+    if found:
+        rows = resilience_summary_rows(metrics, records)
+        if rows:
+            yield ""
+            yield format_table(("event", "count", "meaning"), rows,
+                               title="recovery / resilience")
     if not found:
         yield (f"no telemetry artifacts in {out_dir} "
                f"(expected {SPANS_FILE} and/or {METRICS_JSON_FILE})")

@@ -39,6 +39,7 @@ from repro.experiments.parallel import (
 )
 from repro.experiments.runner import run_comparison, run_replicated_comparison
 from repro.metrics.perf import RunMetrics
+from repro.resilience.integrity import attach_footer, split_verified
 from repro.workloads.micro import PingPongWorkload
 
 # Fault-injection workload factories. Registered at import time in the
@@ -223,9 +224,11 @@ def test_stale_cache_version_discarded(tmp_path):
     cache = ResultCache(tmp_path)
     cache.store(spec, encode_result(execute_spec(spec)))
     path = cache.path_for(spec_key(spec))
-    payload = json.loads(path.read_text())
+    body, status = split_verified(path.read_text())
+    assert status == "ok"
+    payload = json.loads(body)
     payload["version"] = parallel.CACHE_VERSION + 1
-    path.write_text(json.dumps(payload))
+    path.write_text(attach_footer(json.dumps(payload)))
     assert cache.load(spec) is None
     assert not path.exists(), "stale-format file should be discarded"
 

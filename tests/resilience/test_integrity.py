@@ -1,0 +1,165 @@
+"""Cache-integrity unit tests: footers, quarantine, verify and gc.
+
+A cache file is one line of JSON plus a ``#sha256=`` footer; these
+tests pin the footer round trip, the legacy (footer-less) upgrade
+path, and the two maintenance walks behind ``python -m repro cache
+verify|gc``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.resilience.integrity import (
+    QUARANTINE_DIR,
+    CacheAudit,
+    CacheFS,
+    attach_footer,
+    body_digest,
+    gc_cache,
+    quarantine_file,
+    quarantine_path,
+    split_verified,
+    verify_cache,
+)
+
+BODY = json.dumps({"version": 3, "result": {"value": 1}}, sort_keys=True)
+
+
+class TestFooter:
+    def test_round_trip(self):
+        text = attach_footer(BODY)
+        assert text.startswith(BODY)
+        assert text.endswith(body_digest(BODY) + "\n")
+        assert split_verified(text) == (BODY, "ok")
+
+    def test_footerless_is_legacy(self):
+        assert split_verified(BODY) == (BODY, "legacy")
+
+    def test_tampered_body_is_corrupt(self):
+        text = attach_footer(BODY).replace('"value": 1', '"value": 2')
+        body, status = split_verified(text)
+        assert status == "corrupt"
+        assert body is None
+
+    def test_truncated_file_is_corrupt_or_legacy_unparseable(self):
+        text = attach_footer(BODY)
+        body, status = split_verified(text[: len(text) // 2])
+        # Truncation may cut the footer off entirely (legacy garbage
+        # that fails the JSON parse downstream) or leave a mismatching
+        # footer; either way the body is never served verified.
+        assert status in ("corrupt", "legacy")
+        if status == "legacy":
+            with pytest.raises(ValueError):
+                json.loads(body)
+
+
+def _entry(root, name: str, text: str) -> "object":
+    path = root / name[:2] / f"{name}.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
+    return path
+
+
+class TestVerify:
+    def test_empty_root_is_clean(self, tmp_path):
+        audit = verify_cache(tmp_path / "nope")
+        assert isinstance(audit, CacheAudit)
+        assert audit.clean and audit.scanned == 0
+
+    def test_ok_legacy_and_corrupt_are_distinguished(self, tmp_path):
+        _entry(tmp_path, "aa11", attach_footer(BODY))
+        _entry(tmp_path, "bb22", BODY)  # pre-integrity file, parses
+        corrupt = _entry(tmp_path, "cc33", attach_footer(BODY)[:-9] + "deadbeef\n")
+        audit = verify_cache(tmp_path)
+        assert (audit.scanned, audit.ok, audit.legacy) == (3, 1, 1)
+        assert audit.corrupt == [str(corrupt)]
+        assert not audit.clean
+        assert "1 corrupt" in audit.summary()
+
+    def test_corrupt_file_moves_to_quarantine(self, tmp_path):
+        victim = _entry(tmp_path, "cc33", attach_footer(BODY) + "trailing junk")
+        audit = verify_cache(tmp_path)
+        target = quarantine_path(tmp_path, victim)
+        assert audit.quarantined == [str(target)]
+        assert not victim.exists() and target.exists()
+        # The quarantined corpse is excluded from subsequent walks.
+        assert verify_cache(tmp_path).clean
+
+    def test_quarantine_false_reports_in_place(self, tmp_path):
+        victim = _entry(tmp_path, "cc33", attach_footer(BODY)[:-5] + "0000\n")
+        audit = verify_cache(tmp_path, quarantine=False)
+        assert audit.corrupt == [str(victim)]
+        assert audit.quarantined == []
+        assert victim.exists()
+
+    def test_legacy_that_fails_to_parse_is_corrupt(self, tmp_path):
+        _entry(tmp_path, "dd44", "{not json at all")
+        audit = verify_cache(tmp_path)
+        assert audit.legacy == 0 and len(audit.corrupt) == 1
+
+    def test_tmp_orphans_are_reported_not_verified(self, tmp_path):
+        _entry(tmp_path, "aa11", attach_footer(BODY))
+        tmp = tmp_path / "aa" / "aa11.json.tmp12345"
+        tmp.write_text("half a wri")
+        stage = tmp_path / "aa" / ".stage-1-aa11"
+        stage.mkdir()
+        (stage / "aa11.json").write_text("staged")
+        audit = verify_cache(tmp_path)
+        assert audit.clean and audit.ok == 1
+        assert len(audit.tmp_orphans) == 2
+
+
+class TestQuarantineFile:
+    def test_move_failure_falls_back_to_unlink(self, tmp_path):
+        class NoMoveFS(CacheFS):
+            def move(self, src, dst):
+                raise OSError("chaos: rename failed")
+
+        victim = _entry(tmp_path, "aa11", "garbage")
+        assert quarantine_file(tmp_path, victim, NoMoveFS()) is None
+        # Last resort: the corrupt file must not stay readable in place.
+        assert not victim.exists()
+
+
+class TestGc:
+    def test_gc_removes_tmp_stale_and_orphans(self, tmp_path):
+        keep = _entry(tmp_path, "aa11", attach_footer(BODY))
+        stale = _entry(tmp_path, "bb22", attach_footer(
+            json.dumps({"version": 2, "result": {}})))
+        stale_obs = tmp_path / "bb" / "bb22.obs.json"
+        stale_obs.write_text(attach_footer("{}"))
+        orphan = tmp_path / "ee" / "ee55.series.json"
+        orphan.parent.mkdir(parents=True)
+        orphan.write_text(attach_footer("{}"))
+        tmp = tmp_path / "aa" / "aa11.json.tmp99"
+        tmp.write_text("torn")
+
+        stats = gc_cache(tmp_path, current_version=3)
+        assert keep.exists()
+        for victim in (stale, stale_obs, orphan, tmp):
+            assert not victim.exists()
+        assert stats.removed_tmp == 1
+        assert stats.removed_stale == 2
+        assert stats.removed_orphan_artifacts == 1
+        assert stats.bytes_freed > 0
+        assert "1 tmp" in stats.summary()
+
+    def test_gc_leaves_quarantine_unless_purged(self, tmp_path):
+        qdir = tmp_path / QUARANTINE_DIR
+        qdir.mkdir(parents=True)
+        corpse = qdir / "aa11.json"
+        corpse.write_text("corrupt corpse")
+        assert gc_cache(tmp_path, current_version=3).removed_quarantined == 0
+        assert corpse.exists()
+        stats = gc_cache(tmp_path, current_version=3, purge_quarantine=True)
+        assert stats.removed_quarantined == 1
+        assert not corpse.exists() and not qdir.exists()
+
+    def test_gc_skips_corrupt_entries(self, tmp_path):
+        bad = _entry(tmp_path, "cc33", attach_footer(BODY)[:-5] + "0000\n")
+        stats = gc_cache(tmp_path, current_version=3)
+        assert stats.removed_stale == 0
+        assert bad.exists()  # verify's job, not gc's

@@ -1,0 +1,197 @@
+"""Run-journal unit tests: durability, replay edge cases, resume gating.
+
+The replay edge cases here are the satellite battery from the issue:
+a truncated final line (crash mid-append), duplicate ``done`` records
+(idempotent when the hashes agree, excluded when they conflict), and a
+changed matrix (hard :class:`ResumeError`, never a silent partial run).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.resilience.journal import (
+    JOURNAL_VERSION,
+    JournalError,
+    JournalState,
+    ResumeError,
+    RunJournal,
+    grid_digest,
+    replay_journal,
+    result_hash,
+)
+
+KEYS = ["aaa111", "bbb222", "ccc333"]
+
+
+class TestDigests:
+    def test_grid_digest_is_order_and_duplicate_invariant(self):
+        assert grid_digest(KEYS) == grid_digest(reversed(KEYS))
+        assert grid_digest(KEYS) == grid_digest(KEYS + KEYS)
+
+    def test_grid_digest_distinguishes_grids(self):
+        assert grid_digest(KEYS) != grid_digest(KEYS[:2])
+        assert grid_digest(KEYS) != grid_digest(KEYS[:2] + ["ddd444"])
+
+    def test_result_hash_canonicalizes_key_order(self):
+        assert (result_hash({"a": 1, "b": [1, 2]})
+                == result_hash({"b": [1, 2], "a": 1}))
+        assert result_hash({"a": 1}) != result_hash({"a": 2})
+
+
+class TestWriteReplayRoundTrip:
+    def test_lifecycle_round_trip(self, tmp_path):
+        path = tmp_path / "run.journal"
+        with RunJournal.create(path, KEYS, label="t") as journal:
+            journal.record("scheduled", "aaa111")
+            journal.record("started", "aaa111", attempt=1)
+            journal.record("done", "aaa111", result_hash="h1")
+            journal.record("started", "bbb222", attempt=1)
+        state = replay_journal(path)
+        assert state.header["version"] == JOURNAL_VERSION
+        assert state.header["label"] == "t"
+        assert state.grid_digest == grid_digest(KEYS)
+        assert state.cells == 3
+        assert state.done == {"aaa111": "h1"}
+        assert state.started == {"bbb222"}  # in flight at "crash"
+        assert state.skipped_lines == 0
+
+    def test_every_record_is_one_json_line(self, tmp_path):
+        path = tmp_path / "run.journal"
+        with RunJournal.create(path, KEYS) as journal:
+            journal.record("done", "aaa111", result_hash="h1")
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            json.loads(line)
+
+    def test_resume_appends_marker_and_keeps_history(self, tmp_path):
+        path = tmp_path / "run.journal"
+        with RunJournal.create(path, KEYS) as journal:
+            journal.record("done", "aaa111", result_hash="h1")
+        with RunJournal.resume(path) as journal:
+            journal.record("done", "bbb222", result_hash="h2")
+        state = replay_journal(path)
+        assert state.done == {"aaa111": "h1", "bbb222": "h2"}
+        assert any('"resume-marker"' in ln for ln in path.read_text().splitlines())
+
+    def test_failed_then_done_means_done(self, tmp_path):
+        path = tmp_path / "run.journal"
+        with RunJournal.create(path, KEYS) as journal:
+            journal.record("failed", "aaa111", error="boom", kind="error",
+                           attempts=2)
+            journal.record("done", "aaa111", result_hash="h1")
+            journal.record("failed", "bbb222", error="late", kind="timeout",
+                           attempts=3)
+        state = replay_journal(path)
+        assert state.done == {"aaa111": "h1"}
+        assert "aaa111" not in state.failed
+        assert state.failed["bbb222"] == {"error": "late", "kind": "timeout",
+                                          "attempts": 3}
+
+
+class TestReplayEdgeCases:
+    def _journal(self, tmp_path) -> "str":
+        path = tmp_path / "run.journal"
+        with RunJournal.create(path, KEYS) as journal:
+            journal.record("done", "aaa111", result_hash="h1")
+            journal.record("done", "bbb222", result_hash="h2")
+        return path
+
+    def test_truncated_final_line_is_skipped_not_fatal(self, tmp_path):
+        path = self._journal(tmp_path)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"type": "cell", "event": "done", "key": "ccc3')  # torn
+        state = replay_journal(path)
+        assert state.skipped_lines == 1
+        assert state.done == {"aaa111": "h1", "bbb222": "h2"}
+
+    def test_corrupt_interior_line_is_skipped(self, tmp_path):
+        path = self._journal(tmp_path)
+        lines = path.read_text().splitlines()
+        lines.insert(2, "\x00garbage not json\x00")
+        path.write_text("\n".join(lines) + "\n")
+        state = replay_journal(path)
+        assert state.skipped_lines == 1
+        assert state.done == {"aaa111": "h1", "bbb222": "h2"}
+
+    def test_duplicate_done_same_hash_is_idempotent(self, tmp_path):
+        path = self._journal(tmp_path)
+        with RunJournal.resume(path) as journal:
+            journal.record("resumed", "aaa111", result_hash="h1")
+            journal.record("done", "bbb222", result_hash="h2")
+        state = replay_journal(path)
+        assert state.duplicate_done == 2
+        assert state.done == {"aaa111": "h1", "bbb222": "h2"}
+        assert not state.conflicting
+
+    def test_conflicting_done_hashes_exclude_the_key(self, tmp_path):
+        path = self._journal(tmp_path)
+        with RunJournal.resume(path) as journal:
+            journal.record("done", "aaa111", result_hash="DIFFERENT")
+            # Even a later record agreeing with the original cannot
+            # rehabilitate the key: the cell re-runs, full stop.
+            journal.record("done", "aaa111", result_hash="h1")
+        state = replay_journal(path)
+        assert state.conflicting == {"aaa111"}
+        assert "aaa111" not in state.done
+        assert state.done == {"bbb222": "h2"}
+
+    def test_done_without_hash_is_skipped(self, tmp_path):
+        path = self._journal(tmp_path)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps({"type": "cell", "event": "done",
+                                 "key": "ccc333"}) + "\n")
+        state = replay_journal(path)
+        assert "ccc333" not in state.done
+        assert state.skipped_lines == 1
+
+    def test_missing_journal_is_resume_error(self, tmp_path):
+        with pytest.raises(ResumeError, match="does not exist"):
+            replay_journal(tmp_path / "never-written.journal")
+
+
+class TestDigestGate:
+    def test_matching_grid_passes(self, tmp_path):
+        path = tmp_path / "run.journal"
+        RunJournal.create(path, KEYS).close()
+        replay_journal(path).check_digest(list(reversed(KEYS)))
+
+    def test_changed_matrix_is_hard_error(self, tmp_path):
+        path = tmp_path / "run.journal"
+        RunJournal.create(path, KEYS).close()
+        with pytest.raises(ResumeError, match="matrix changed"):
+            replay_journal(path).check_digest(KEYS[:2] + ["zzz999"])
+
+    def test_headerless_journal_refuses_resume(self, tmp_path):
+        path = tmp_path / "run.journal"
+        path.write_text("")
+        with pytest.raises(ResumeError, match="no header"):
+            replay_journal(path).check_digest(KEYS)
+
+
+class TestWriterFaultContainment:
+    def test_unopenable_path_raises_journal_error(self, tmp_path):
+        with pytest.raises(JournalError, match="cannot open journal"):
+            RunJournal.create(tmp_path, KEYS)  # a directory, not a file
+
+    def test_write_failure_disables_writer_not_run(self, tmp_path):
+        path = tmp_path / "run.journal"
+        journal = RunJournal.create(path, KEYS)
+        journal._fh.close()  # the disk goes away mid-run
+        journal.record("done", "aaa111", result_hash="h1")  # must not raise
+        assert journal._fh is None
+        journal.record("done", "bbb222", result_hash="h2")  # still inert
+        journal.close()
+        state = replay_journal(path)
+        assert state.done == {}  # non-resumable, but the run survived
+
+
+class TestJournalState:
+    def test_defaults(self):
+        state = JournalState(path="x")
+        assert state.grid_digest is None
+        assert state.cells == 0
+        assert state.done == {} and state.failed == {}

@@ -1,0 +1,131 @@
+"""Degradation-policy unit tests: backoff, breaker, report, kinds."""
+
+from __future__ import annotations
+
+from concurrent.futures.process import BrokenProcessPool
+
+import pytest
+
+from repro.experiments.parallel import RunTimeout
+from repro.resilience.policy import (
+    FAILURE_KINDS,
+    CircuitBreaker,
+    RetryPolicy,
+    RunReport,
+    classify_failure,
+)
+
+
+class TestRetryPolicy:
+    def test_zero_base_delay_never_sleeps(self):
+        policy = RetryPolicy(retries=3)
+        assert policy.delay_s("k", 1) == 0.0
+        assert policy.delay_s("k", 7) == 0.0
+
+    def test_deterministic_per_key_and_attempt(self):
+        policy = RetryPolicy(base_delay_s=0.5, seed=3)
+        assert policy.delay_s("k", 2) == policy.delay_s("k", 2)
+        assert (RetryPolicy(base_delay_s=0.5, seed=3).delay_s("k", 2)
+                == policy.delay_s("k", 2))
+
+    def test_jitter_desynchronizes_keys(self):
+        policy = RetryPolicy(base_delay_s=1.0)
+        assert policy.delay_s("cell-a", 1) != policy.delay_s("cell-b", 1)
+
+    def test_exponential_growth_within_jitter_band(self):
+        policy = RetryPolicy(base_delay_s=1.0, factor=2.0, jitter=0.5,
+                             max_delay_s=1000.0)
+        for attempt, nominal in ((1, 1.0), (2, 2.0), (3, 4.0), (4, 8.0)):
+            delay = policy.delay_s("k", attempt)
+            assert nominal * 0.75 <= delay <= nominal * 1.25
+
+    def test_no_jitter_is_exact(self):
+        policy = RetryPolicy(base_delay_s=1.0, factor=2.0, jitter=0.0)
+        assert [policy.delay_s("k", a) for a in (1, 2, 3)] == [1.0, 2.0, 4.0]
+
+    def test_max_delay_caps_the_nominal(self):
+        policy = RetryPolicy(base_delay_s=1.0, factor=10.0, max_delay_s=5.0,
+                             jitter=0.0)
+        assert policy.delay_s("k", 9) == 5.0
+
+
+class TestCircuitBreaker:
+    def test_quiet_below_min_events(self):
+        brk = CircuitBreaker(threshold=0.5, min_events=4)
+        for _ in range(3):
+            brk.record(False)
+        assert brk.failure_rate == 1.0
+        assert not brk.tripped
+
+    def test_trips_at_threshold(self):
+        brk = CircuitBreaker(threshold=0.5, min_events=4)
+        for ok in (True, True, True, False):
+            brk.record(ok)
+        assert not brk.tripped  # 25% failure, below threshold
+        brk.record(False)
+        brk.record(False)
+        assert brk.failure_rate == 0.5  # reaching the threshold trips
+        assert brk.tripped
+
+    def test_window_slides_old_failures_out(self):
+        brk = CircuitBreaker(threshold=0.5, min_events=4, window=4)
+        for _ in range(4):
+            brk.record(False)
+        assert brk.tripped
+        for _ in range(4):
+            brk.record(True)
+        assert brk.events == 4
+        assert not brk.tripped
+
+    def test_trip_and_reset_counts_and_clears(self):
+        brk = CircuitBreaker(min_events=2)
+        for _ in range(4):
+            brk.record(False)
+        assert brk.trip_and_reset() == 1
+        assert brk.events == 0 and not brk.tripped
+        for _ in range(4):
+            brk.record(False)
+        assert brk.trip_and_reset() == 2
+
+
+class TestRunReport:
+    def test_clean_run_is_completed(self):
+        report = RunReport(cells=4, cache_hits=1, executed=3)
+        assert report.outcome == "completed"
+        assert report.failed == 0
+        assert "outcome=completed" in report.render()
+
+    def test_recovery_machinery_means_degraded(self):
+        for field, value in (("pool_rebuilds", 1), ("quarantined", 1),
+                             ("resume_mismatches", 1),
+                             ("degradation", ["pool shrunk to 2"])):
+            report = RunReport(cells=1, executed=1)
+            setattr(report, field, value)
+            assert report.outcome == "degraded", field
+        report = RunReport(cells=1, executed=1)
+        report.retries["crash"] += 1
+        assert report.outcome == "degraded"
+
+    def test_any_lost_cell_means_failed(self):
+        report = RunReport(cells=2, executed=1)
+        report.retries["timeout"] += 2
+        report.failures["timeout"] += 1
+        assert report.failed == 1
+        assert report.outcome == "failed"
+        rendered = report.render()
+        assert "failed=timeout:1" in rendered and "retries=timeout:2" in rendered
+
+    def test_resume_fields_round_trip_to_json(self):
+        report = RunReport(cells=3, cache_hits=3, resumed=2, reverified=2)
+        as_json = report.to_json_dict()
+        assert as_json["outcome"] == "completed"  # clean resume is clean
+        assert as_json["resumed"] == 2 and as_json["reverified"] == 2
+        assert "resumed=2" in report.render()
+
+
+class TestClassifyFailure:
+    def test_kinds_cover_the_taxonomy(self):
+        assert classify_failure(RunTimeout("slow")) == "timeout"
+        assert classify_failure(BrokenProcessPool("died")) == "crash"
+        assert classify_failure(ValueError("boom")) == "error"
+        assert set(FAILURE_KINDS) == {"timeout", "crash", "error"}
