@@ -10,7 +10,8 @@ The battery encodes the legality rules behind the paper's Fig. 1/Fig. 3
 state machines and KVM's preemption-timer optimization (§3):
 
 * arm/cancel/fire pairing for LAPIC timers, the VMX preemption timer,
-  the guest TSC deadline and the host stand-in timer;
+  the guest TSC deadline, the host stand-in timer and the ARM generic
+  timer (trapped CNTV write -> deadline -> vtimer IRQ);
 * the per-vCPU run-state machine of ``repro.host.kvm._VcpuExec``;
 * tick-sched mode transitions (stop/restart alternation, and that only
   the tickless policy ever performs them);
@@ -268,6 +269,128 @@ class GuestDeadlineChecker(Checker):
                 self.report(record, f"host stand-in fired at {record.time}, armed for {when}")
 
 
+class CntvChecker(Checker):
+    """ARM generic-timer trap -> deadline pairing (:mod:`repro.hw.arm`).
+
+    KVM/arm64's vtimer emulation applies every trapped CNTV_CVAL /
+    CNTV_CTL write synchronously, so for any source that traps CNTV
+    sysregs (the checker is arch-aware: it engages only once a source
+    emits a ``cntv_*`` record, staying inert on x86 traces):
+
+    * a ``cntv_cval`` write while ENABLE is set must be applied as a
+      ``deadline_set`` of the same host-translated expiry at the same
+      instant — the single-trap steady-state re-arm;
+    * ``cntv_ctl`` ENABLE=1 with a latched CVAL arms the same way, and
+      setting ENABLE while already enabled never happens (Linux arm64
+      leaves ENABLE set across fires and re-arms with a lone CVAL
+      write);
+    * ``cntv_ctl`` ENABLE=0 must be applied as a ``deadline_clear`` at
+      the same instant (disarming an idle vtimer is legal);
+    * ``deadline_set``/``deadline_clear`` on a CNTV source outside a
+      trap application is impossible — nothing else programs the
+      vtimer;
+    * a ``vtimer_irq`` exit delivering the guest's tick requires an
+      enabled vtimer whose latched expiry has passed (ENABLE survives
+      the fire; the stale CVAL is overwritten by the next re-arm).
+    """
+
+    name = "cntv"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._enabled: dict[str, bool] = {}
+        self._cval: dict[str, Optional[int]] = {}
+        #: source -> (expected kind, expected expiry or None, trap time)
+        self._pending: dict[str, tuple[str, Optional[int], int]] = {}
+
+    def _expect(self, record: TraceRecord, kind: str, detail: Optional[int]) -> None:
+        stale = self._pending.get(record.source)
+        if stale is not None:
+            self.report(
+                record, f"trapped write at {stale[2]} never applied as {stale[0]}"
+            )
+        self._pending[record.source] = (kind, detail, record.time)
+
+    def on_event(self, record: TraceRecord) -> None:
+        kind = record.kind
+        src = record.source
+        if kind in ("cntv_cval", "cntv_ctl"):
+            if ev.validate_record(record) is not None:
+                return
+            self.seen += 1
+            if kind == "cntv_cval":
+                self._cval[src] = record.detail
+                if self._enabled.get(src, False):
+                    self._expect(record, "deadline_set", record.detail)
+                else:
+                    self._enabled.setdefault(src, False)
+            elif record.detail:
+                if self._enabled.get(src, False):
+                    self.report(
+                        record,
+                        "ENABLE set while already enabled "
+                        "(steady-state re-arm is a lone CVAL write)",
+                    )
+                self._enabled[src] = True
+                cval = self._cval.get(src)
+                if cval is not None:
+                    self._expect(record, "deadline_set", cval)
+            else:
+                self._enabled[src] = False
+                self._cval[src] = None
+                self._expect(record, "deadline_clear", None)
+            return
+        if kind in ("deadline_set", "deadline_clear"):
+            if src not in self._enabled or ev.validate_record(record) is not None:
+                return
+            self.seen += 1
+            pending = self._pending.pop(src, None)
+            if pending is None:
+                self.report(record, f"{kind} on a CNTV source without a trapped write")
+                return
+            want_kind, want_expiry, when = pending
+            if kind != want_kind:
+                self.report(record, f"trap applied as {kind}, expected {want_kind}")
+            elif record.time != when:
+                self.report(record, f"{kind} at {record.time}, but trap was at {when}")
+            elif want_expiry is not None and record.detail != want_expiry:
+                self.report(
+                    record,
+                    f"{kind} expiry {record.detail} != trapped CVAL expiry {want_expiry}",
+                )
+            return
+        if (
+            kind == "vmexit"
+            and isinstance(record.detail, tuple)
+            and len(record.detail) == 2
+            and record.detail[0] == "vtimer_irq"
+            and record.detail[1] == "timer_guest_tick"
+            and src in self._enabled
+        ):
+            self.seen += 1
+            if not self._enabled[src]:
+                self.report(record, "vtimer IRQ delivered while CNTV_CTL.ENABLE clear")
+                return
+            cval = self._cval.get(src)
+            if cval is None:
+                self.report(record, "vtimer IRQ delivered with no CVAL latched")
+            elif record.time < cval:
+                self.report(
+                    record, f"vtimer IRQ at {record.time} before CVAL expiry {cval}"
+                )
+
+    def finish(self) -> None:
+        for src, (kind, _detail, when) in sorted(self._pending.items()):
+            self.violations.append(
+                Violation(
+                    when,
+                    self.name,
+                    src,
+                    f"trapped write at {when} never applied as {kind}",
+                )
+            )
+
+
 class TickSchedChecker(Checker):
     """Tick-sched legality per Fig. 1 / Fig. 3.
 
@@ -429,7 +552,9 @@ class RestoreMonotonicChecker(Checker):
             self.seen += 1
             self._restored_at[record.source] = record.time
             return
-        if kind not in ("deadline_set", "hostdl_arm", "ptimer_start", "lapic_arm"):
+        if kind not in (
+            "deadline_set", "hostdl_arm", "ptimer_start", "lapic_arm", "cntv_cval",
+        ):
             return
         if ev.validate_record(record) is not None:
             return
@@ -511,6 +636,7 @@ def default_checkers(mode: Optional[TickMode] = None) -> list[Checker]:
         PreemptionTimerChecker(),
         LapicChecker(),
         GuestDeadlineChecker(),
+        CntvChecker(),
         TickSchedChecker(mode),
         InjectChecker(mode),
         SuspendSpanChecker(),

@@ -47,6 +47,9 @@ EVENT_SCHEMA: dict[str, str] = {
     "sched_preempt": "pcpu_index — host-tick boundary requeued this vCPU",
     # Raw MSR traffic (repro.hw.msr, native path)
     "msr_write": "(index, value)",
+    # ARM generic timer (repro.hw.arm: KVM's vtimer emulation)
+    "cntv_cval": "abs ns — CNTV_CVAL latched (host-time translated expiry)",
+    "cntv_ctl": "0|1 — CNTV_CTL ENABLE bit written",
     # Guest kernel / tick-sched policies (repro.guest)
     "idle_enter": "None — idle loop about to halt",
     "idle_exit": "None — idle loop exiting to run a task",
@@ -153,6 +156,12 @@ def _validate_signed_ns(d: Any) -> Optional[str]:
     return None
 
 
+def _validate_ctl_bit(d: Any) -> Optional[str]:
+    if not isinstance(d, int) or isinstance(d, bool) or d not in (0, 1):
+        return f"expected ENABLE bit 0|1, got {d!r}"
+    return None
+
+
 def _validate_msr_write(d: Any) -> Optional[str]:
     p = _pair(d)
     if p is None or not all(isinstance(x, int) and x >= 0 for x in p):
@@ -179,6 +188,8 @@ _VALIDATORS: dict[str, Callable[[Any], Optional[str]]] = {
     "sched_dispatch": _validate_sched_dispatch,
     "sched_preempt": _validate_abs_ns,
     "msr_write": _validate_msr_write,
+    "cntv_cval": _validate_abs_ns,
+    "cntv_ctl": _validate_ctl_bit,
     "idle_enter": _validate_none,
     "idle_exit": _validate_none,
     "tick_stop": _validate_none,

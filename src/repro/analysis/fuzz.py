@@ -194,6 +194,7 @@ def run_scenario(
     *,
     placement: str = SOLO,
     perturbations: tuple[Perturbation, ...] = (),
+    arch: str = "x86",
 ) -> tuple[Optional[RunMetrics], TickSanitizer, list[str]]:
     """One sanitized run; returns (metrics, sanitizer, problems).
 
@@ -230,6 +231,7 @@ def run_scenario(
             cpuidle=scenario.cpuidle,
             horizon_ns=scenario.horizon_ns,
             perturbations=perturbations,
+            arch=arch,
             tracer=TeeTracer(sanitizer, steal),
             inspect=inspect,
             label=f"fuzz{scenario.seed}/{scenario.kind}/{mode.value}/{placement}",
@@ -266,6 +268,88 @@ def differential_problems(per_mode: dict[TickMode, RunMetrics]) -> list[str]:
                 f"vs tickless {ref.useful_cycles} (|delta| {delta} > {allowed})"
             )
     return out
+
+
+#: Architectures the cross-arch sweep compares (x86 is the reference).
+ARCH_SWEEP = ("x86", "arm")
+
+
+def arch_differential_problems(
+    per_arch: dict[str, RunMetrics], mode: TickMode
+) -> list[str]:
+    """Cross-architecture comparison for one tick mode.
+
+    The timer architecture changes the *overhead* (exit counts, handler
+    costs) but must not change the *work*: useful cycles agree across
+    backends to the same tolerance the cross-mode check uses, and each
+    backend stays inside its own exit taxonomy (no MSR-write exits on
+    ARM, no sysreg traps on x86).
+    """
+    from repro.host.exitreasons import ExitReason
+
+    if len(per_arch) < len(ARCH_SWEEP):
+        return []  # some run already failed; reported individually
+    ref = per_arch["x86"]
+    out: list[str] = []
+    allowed = max(int(ref.useful_cycles * USEFUL_REL_TOL), USEFUL_ABS_SLACK)
+    for arch, metrics in per_arch.items():
+        if arch != "x86":
+            delta = abs(metrics.useful_cycles - ref.useful_cycles)
+            if delta > allowed:
+                out.append(
+                    f"useful cycles diverge: {arch} did {metrics.useful_cycles} "
+                    f"vs x86 {ref.useful_cycles} (|delta| {delta} > {allowed})"
+                )
+        foreign = (
+            (ExitReason.SYSREG_TRAP, ExitReason.VTIMER_IRQ)
+            if arch == "x86"
+            else (ExitReason.MSR_WRITE, ExitReason.PREEMPTION_TIMER)
+        )
+        for reason in foreign:
+            n = metrics.exits.by_reason(reason)
+            if n:
+                out.append(
+                    f"{arch}/{mode.value}: {n} {reason.value} exit(s) — "
+                    f"foreign to this architecture's taxonomy"
+                )
+    return out
+
+
+def fuzz_seed_arch(
+    seed: int,
+    *,
+    placements: tuple[str, ...] = (SOLO,),
+) -> "FuzzReport":
+    """Run one seed's scenario on every (arch, mode) cell and diff.
+
+    The arch sweep keeps the placement list small by default (solo):
+    its job is comparing timer backends, not re-testing overcommit —
+    the plain :func:`fuzz_seed` already covers that per arch.
+    """
+    scenario = scenario_for_seed(seed)
+    problems: list[str] = []
+    runs = 0
+    events = 0
+    for placement in placements:
+        for mode in TickMode:
+            per_arch: dict[str, RunMetrics] = {}
+            for arch in ARCH_SWEEP:
+                metrics, sanitizer, probs = run_scenario(
+                    scenario, mode, placement=placement, arch=arch
+                )
+                runs += 1
+                events += sanitizer.events
+                problems += [
+                    f"[{arch}/{mode.value}/{placement}] {p}" for p in probs
+                ]
+                if metrics is not None:
+                    per_arch[arch] = metrics
+            problems += [
+                f"[archdiff/{mode.value}/{placement}] {p}"
+                for p in arch_differential_problems(per_arch, mode)
+            ]
+    return FuzzReport(seed=seed, scenario=scenario, problems=problems,
+                      runs=runs, events=events)
 
 
 @dataclass

@@ -48,6 +48,11 @@ PERTURB_FIXTURE = Path("tests/fixtures/golden_perturb.json")
 #: Fleet battery fixture (3 tick modes x 2 consolidation ratios).
 FLEET_FIXTURE = Path("tests/fixtures/golden_fleet.json")
 
+#: ARM generic-timer battery fixture — the same workload/fuzz battery
+#: executed under ``arch="arm"`` (repro.hw.arm), pinning the second
+#: timer architecture to the bit exactly like the x86 seed fixture.
+ARM_FIXTURE = Path("tests/fixtures/golden_arm.json")
+
 #: Seeds covered by the fuzz-equivalence section.
 FUZZ_SEEDS = tuple(range(20))
 
@@ -121,11 +126,14 @@ def _workload_cases() -> Iterator[tuple[str, Callable, dict]]:
     )
 
 
-def _run_workload_case(name: str, factory: Callable, kwargs: dict, mode: TickMode) -> dict:
+def _run_workload_case(
+    name: str, factory: Callable, kwargs: dict, mode: TickMode, arch: str = "x86"
+) -> dict:
     tracer = HashTracer()
+    prefix = "golden" if arch == "x86" else f"golden-{arch}"
     metrics = run_workload(
-        factory(), tick_mode=mode, tracer=tracer,
-        label=f"golden/{name}/{mode.value}", **kwargs,
+        factory(), tick_mode=mode, tracer=tracer, arch=arch,
+        label=f"{prefix}/{name}/{mode.value}", **kwargs,
     )
     return {
         "metrics": metrics.to_json_dict(),
@@ -134,11 +142,14 @@ def _run_workload_case(name: str, factory: Callable, kwargs: dict, mode: TickMod
     }
 
 
-def _run_fuzz_case(seed: int, mode: TickMode, placement: str) -> str:
+def _run_fuzz_case(seed: int, mode: TickMode, placement: str, arch: str = "x86") -> str:
     """One untraced (production fast path) fuzz-scenario run → metrics hash."""
     scenario = scenario_for_seed(seed)
     workload = scenario.make_workload()
     mspec, pinned = placement_for(workload.default_vcpus(), placement)
+    label = f"fuzz{seed}/{scenario.kind}/{mode.value}/{placement}"
+    if arch != "x86":
+        label += f"/{arch}"
     metrics = run_workload(
         workload,
         tick_mode=mode,
@@ -149,12 +160,15 @@ def _run_fuzz_case(seed: int, mode: TickMode, placement: str) -> str:
         noise=scenario.noise,
         cpuidle=scenario.cpuidle,
         horizon_ns=scenario.horizon_ns,
-        label=f"fuzz{seed}/{scenario.kind}/{mode.value}/{placement}",
+        arch=arch,
+        label=label,
     )
     return metrics_digest(metrics)
 
 
-def run_battery(progress: Optional[Callable[[str], None]] = None) -> dict:
+def run_battery(
+    progress: Optional[Callable[[str], None]] = None, arch: str = "x86"
+) -> dict:
     """Execute the full battery and return the fixture payload."""
 
     def note(msg: str) -> None:
@@ -165,16 +179,16 @@ def run_battery(progress: Optional[Callable[[str], None]] = None) -> dict:
     for name, factory, kwargs in _workload_cases():
         for mode in TickMode:
             key = f"{name}/{mode.value}"
-            workloads[key] = _run_workload_case(name, factory, kwargs, mode)
+            workloads[key] = _run_workload_case(name, factory, kwargs, mode, arch)
             note(key)
     fuzz: dict[str, str] = {}
     for seed in FUZZ_SEEDS:
         for placement in (SOLO, OVERCOMMIT):
             for mode in TickMode:
                 key = f"seed{seed}/{mode.value}/{placement}"
-                fuzz[key] = _run_fuzz_case(seed, mode, placement)
+                fuzz[key] = _run_fuzz_case(seed, mode, placement, arch)
         note(f"fuzz seed {seed}")
-    return {"schema": SCHEMA, "workloads": workloads, "fuzz": fuzz}
+    return {"schema": SCHEMA, "arch": arch, "workloads": workloads, "fuzz": fuzz}
 
 
 # ------------------------------------------------- perturbation battery
@@ -367,12 +381,17 @@ def compare_fleet(path: Path = FLEET_FIXTURE, progress=None) -> list[str]:
 # ------------------------------------------------------------ read/compare
 
 
-def capture(path: Path = DEFAULT_FIXTURE, progress=None) -> dict:
+def capture(path: Path = DEFAULT_FIXTURE, progress=None, arch: str = "x86") -> dict:
     """Run the battery and write the fixture file."""
-    payload = run_battery(progress)
+    payload = run_battery(progress, arch=arch)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
     return payload
+
+
+def capture_arm(path: Path = ARM_FIXTURE, progress=None) -> dict:
+    """Capture the battery under the ARM generic-timer backend."""
+    return capture(path, progress, arch="arm")
 
 
 def load(path: Path = DEFAULT_FIXTURE) -> dict:
@@ -384,10 +403,13 @@ def load(path: Path = DEFAULT_FIXTURE) -> dict:
     return data
 
 
-def compare(path: Path = DEFAULT_FIXTURE, progress=None) -> list[str]:
+def compare(path: Path = DEFAULT_FIXTURE, progress=None, arch: str = "x86") -> list[str]:
     """Re-run the battery; return human-readable divergences (empty = ok)."""
     golden = load(path)
-    fresh = run_battery(progress)
+    pinned_arch = golden.get("arch", "x86")
+    if pinned_arch != arch:
+        return [f"fixture {path} pins arch {pinned_arch!r}, battery ran {arch!r}"]
+    fresh = run_battery(progress, arch=arch)
     problems: list[str] = []
     for key, want in golden["workloads"].items():
         got = fresh["workloads"].get(key)
@@ -415,6 +437,11 @@ def compare(path: Path = DEFAULT_FIXTURE, progress=None) -> list[str]:
     return problems
 
 
+def compare_arm(path: Path = ARM_FIXTURE, progress=None) -> list[str]:
+    """Replay the battery on the ARM backend against its fixture."""
+    return compare(path, progress, arch="arm")
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     import argparse
 
@@ -428,10 +455,16 @@ def main(argv: Optional[list[str]] = None) -> int:
     ap.add_argument("--fleet", action="store_true",
                     help="operate on the fleet battery "
                          f"(default fixture: {FLEET_FIXTURE})")
+    ap.add_argument("--arm", action="store_true",
+                    help="operate on the ARM generic-timer battery "
+                         f"(default fixture: {ARM_FIXTURE})")
     args = ap.parse_args(argv)
-    if args.perturb and args.fleet:
-        ap.error("--perturb and --fleet are mutually exclusive")
-    if args.fleet:
+    if sum((args.perturb, args.fleet, args.arm)) > 1:
+        ap.error("--perturb, --fleet and --arm are mutually exclusive")
+    if args.arm:
+        fixture, do_capture, do_compare, name = (
+            ARM_FIXTURE, capture_arm, compare_arm, "arm battery")
+    elif args.fleet:
         fixture, do_capture, do_compare, name = (
             FLEET_FIXTURE, capture_fleet, compare_fleet, "fleet battery")
     elif args.perturb:

@@ -271,6 +271,21 @@ def _cmd_fuzz(args) -> int:
         if not report.ok:
             failed.append(report.seed)
 
+    if args.arch:
+        # Cross-architecture sweep: every seed runs under every
+        # (arch, mode) cell and the backends are diffed against each
+        # other (useful-cycle equivalence + per-arch exit taxonomy).
+        for seed in seeds:
+            progress(fuzz.fuzz_seed_arch(seed, placements=(fuzz.SOLO,)))
+        if failed:
+            print(f"\n{len(failed)}/{len(seeds)} seeds failed: {failed}")
+            print("replay one with: python -m repro fuzz --arch --seed-list "
+                  + " ".join(str(s) for s in failed))
+            return 1
+        print(f"\nall {len(seeds)} seeds clean across "
+              f"{len(fuzz.ARCH_SWEEP) * 3} arch/mode cells each")
+        return 0
+
     fuzz.fuzz_many(seeds, placements=placements, perturb=args.perturb,
                    progress=progress)
     if failed:
@@ -282,6 +297,15 @@ def _cmd_fuzz(args) -> int:
     suffix = " (perturbed)" if args.perturb else ""
     print(f"\nall {len(seeds)} seeds clean across "
           f"{len(placements) * 3} mode/placement cells each{suffix}")
+    return 0
+
+
+def _cmd_table_arch(args) -> int:
+    from repro.experiments import table_arch
+
+    result = table_arch.run(seed=args.seed, quick=args.quick,
+                            **_engine_kwargs(args))
+    print(result.render())
     return 0
 
 
@@ -811,6 +835,13 @@ def build_parser() -> argparse.ArgumentParser:
     ab = sub.add_parser("ablations", help="design-choice ablations + DID comparison")
     ab.set_defaults(fn=_cmd_ablations)
 
+    ta = sub.add_parser(
+        "table-arch",
+        help="cross-architecture comparison: paratick's win per timer backend",
+    )
+    ta.add_argument("--quick", action="store_true")
+    ta.set_defaults(fn=_cmd_table_arch)
+
     ex = sub.add_parser("export", help="write figure data series as CSV")
     ex.add_argument("figure", choices=["fig4", "fig5", "fig6", "all"])
     ex.add_argument("--out", default="figures", help="output directory")
@@ -845,6 +876,10 @@ def build_parser() -> argparse.ArgumentParser:
                     help="additionally expand each seed into a perturbation "
                          "schedule (suspend/restore/hotplug/drift) applied to "
                          "every cell")
+    fz.add_argument("--arch", action="store_true",
+                    help="cross-architecture sweep instead: run each seed on "
+                         "every timer backend (x86, arm) x tick mode and diff "
+                         "useful cycles + per-arch exit taxonomy")
     fz.set_defaults(fn=_cmd_fuzz)
 
     mx = sub.add_parser(

@@ -106,8 +106,13 @@ class VmSpec:
     #: model. Off by default (the paper does not model idle states);
     #: used by the energy extension benchmark.
     cpuidle: bool = False
+    #: Timer architecture this guest targets; must match the hosting
+    #: hypervisor's arch (see :mod:`repro.hw.timerhw`).
+    arch: str = "x86"
 
     def __post_init__(self) -> None:
+        if self.arch not in ("x86", "arm"):
+            raise ConfigError(f"unknown arch {self.arch!r}; know ('x86', 'arm')")
         if self.vcpus <= 0:
             raise ConfigError("VM must have at least one vCPU")
         if self.tick_hz <= 0:

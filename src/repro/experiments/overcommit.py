@@ -50,6 +50,7 @@ def run_idle_overcommit(
     duration_ns: int = SEC,
     noise: bool = False,
     seed: int = 0,
+    arch: str = "x86",
 ) -> OvercommitResult:
     """N idle VMs time-sharing a small set of physical CPUs (W1/W2).
 
@@ -60,11 +61,11 @@ def run_idle_overcommit(
         raise ConfigError("vms, vcpus_per_vm and pcpus must be positive")
     sim = Simulator(seed=seed)
     machine = Machine(sim, MachineSpec(sockets=1, cpus_per_socket=pcpus))
-    hv = Hypervisor(sim, machine)
+    hv = Hypervisor(sim, machine, arch=arch)
     for v in range(vms):
         pins = tuple((v * vcpus_per_vm + i) % pcpus for i in range(vcpus_per_vm))
         vm = hv.create_vm(
-            VmSpec(name=f"vm{v}", vcpus=vcpus_per_vm, tick_mode=mode, pinned_cpus=pins, noise=noise)
+            VmSpec(name=f"vm{v}", vcpus=vcpus_per_vm, tick_mode=mode, pinned_cpus=pins, noise=noise, arch=arch)
         )
         kernel = GuestKernel(vm)
         if noise:

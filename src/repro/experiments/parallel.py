@@ -216,6 +216,10 @@ class RunSpec:
     #: Serialized into the cache key only when set, so every
     #: pre-existing spec keeps its exact content address.
     series: bool = False
+    #: Timer architecture to simulate (see :mod:`repro.hw.timerhw`).
+    #: Rides the cache key, but — like ``series`` — is emitted only
+    #: when non-default so pre-existing x86 content addresses survive.
+    arch: str = "x86"
 
     def with_(self, **changes: Any) -> "RunSpec":
         from dataclasses import replace
@@ -254,6 +258,8 @@ def spec_to_dict(spec: RunSpec) -> dict:
     }
     if spec.series:
         out["series"] = True
+    if spec.arch != "x86":
+        out["arch"] = spec.arch
     return out
 
 
@@ -277,6 +283,7 @@ def spec_from_dict(data: dict) -> RunSpec:
         keep_timer_on_idle_exit=bool(data["keep_timer_on_idle_exit"]),
         profile=bool(data.get("profile", False)),
         series=bool(data.get("series", False)),
+        arch=data.get("arch", "x86"),
         perturbations=tuple(
             perturbation_from_dict(p) for p in data.get("perturbations", [])
         ),
@@ -361,7 +368,7 @@ def execute_spec_full(spec: RunSpec) -> tuple[Any, Optional[dict], Optional[dict
         from repro.experiments.overcommit import run_idle_overcommit
 
         result = run_idle_overcommit(
-            spec.tick_mode, seed=spec.seed, **spec.workload.kwargs()
+            spec.tick_mode, seed=spec.seed, arch=spec.arch, **spec.workload.kwargs()
         )
         return result, None, None
 
@@ -394,6 +401,7 @@ def execute_spec_full(spec: RunSpec) -> tuple[Any, Optional[dict], Optional[dict
             horizon_ns=spec.horizon_ns if spec.horizon_ns is not None else DEFAULT_HORIZON_NS,
             label=spec.label,
             perturbations=spec.perturbations,
+            arch=spec.arch,
             obs=obs,
         )
     return (

@@ -44,6 +44,7 @@ def run_workload(
     horizon_ns: int = DEFAULT_HORIZON_NS,
     label: Optional[str] = None,
     perturbations=(),
+    arch: str = "x86",
     tracer=None,
     inspect=None,
     obs=None,
@@ -81,7 +82,7 @@ def run_workload(
         tracer = obs.tracer(tracer)
     sim = Simulator(seed=seed, tracer=tracer)
     machine = Machine(sim, mspec)
-    hv = Hypervisor(sim, machine, costs=costs, features=features)
+    hv = Hypervisor(sim, machine, costs=costs, features=features, arch=arch)
     if obs is not None:
         obs.install(machine, hv)
     vm = hv.create_vm(
@@ -93,6 +94,7 @@ def run_workload(
             pinned_cpus=pinned_cpus,
             noise=noise,
             cpuidle=cpuidle,
+            arch=arch,
         )
     )
     kernel = GuestKernel(vm)

@@ -72,6 +72,7 @@ def run_host(
     horizon_ns: Optional[int] = None,
     label: Optional[str] = None,
     perturbations=(),
+    arch: str = "x86",
     tracer=None,
     inspect=None,
     obs=None,
@@ -102,7 +103,7 @@ def run_host(
         tracer = obs.tracer(tracer)
     sim = Simulator(seed=sim_seed, tracer=tracer)
     machine = Machine(sim, MachineSpec(sockets=1, cpus_per_socket=pcpus))
-    hv = Hypervisor(sim, machine, costs=costs, features=features)
+    hv = Hypervisor(sim, machine, costs=costs, features=features, arch=arch)
     if obs is not None:
         obs.install(machine, hv)
 
@@ -123,6 +124,7 @@ def run_host(
                 pinned_cpus=pins,
                 noise=noise,
                 cpuidle=cpuidle,
+                arch=arch,
             )
         )
         kernel = GuestKernel(vm)
@@ -279,6 +281,7 @@ def execute_fleet_spec(spec: RunSpec) -> tuple[RunMetrics, Optional[dict], Optio
             horizon_ns=spec.horizon_ns,
             label=spec.label,
             perturbations=spec.perturbations,
+            arch=spec.arch,
             obs=obs,
             **params,
         )

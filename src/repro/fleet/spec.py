@@ -131,6 +131,8 @@ class FleetSpec:
     horizon_ns: Optional[int] = None
     perturbations: tuple = ()
     profile: bool = False
+    #: Timer architecture every host in the fleet simulates.
+    arch: str = "x86"
     #: Extra label segments between the name and the host shard
     #: (the matrix DSL threads its cell-ID parts through here).
     label_parts: tuple[str, ...] = field(default_factory=tuple)
@@ -182,6 +184,7 @@ class FleetSpec:
             horizon_ns=self.horizon_ns,
             perturbations=self.perturbations,
             profile=self.profile,
+            arch=self.arch,
             label=self.host_label(host_index),
         )
 
@@ -207,6 +210,7 @@ def host_run_spec(
     horizon_ns: Optional[int] = None,
     perturbations: tuple = (),
     profile: bool = False,
+    arch: str = "x86",
     label: Optional[str] = None,
 ) -> RunSpec:
     """Compile one host of a fleet into a :class:`RunSpec`.
@@ -238,6 +242,7 @@ def host_run_spec(
         horizon_ns=horizon_ns,
         perturbations=tuple(perturbations),
         profile=profile,
+        arch=arch,
         label=label,
     )
 

@@ -31,7 +31,6 @@ from repro.host.exitreasons import ExitTag
 from repro.hw.cpu import CycleDomain
 from repro.hw.interrupts import Vector
 from repro.hw.iodev import IoRequest
-from repro.hw.msr import Msr
 
 K = CycleDomain.GUEST_KERNEL
 U = CycleDomain.GUEST_USER
@@ -53,6 +52,7 @@ class VcpuCtx:
         "armed_deadline_ns",
         "need_resched",
         "io_done",
+        "hw_state",
     )
 
     def __init__(self, index: int):
@@ -67,6 +67,9 @@ class VcpuCtx:
         self.armed_deadline_ns: Optional[int] = None
         self.need_resched = False
         self.io_done: deque[IoRequest] = deque()
+        #: Backend-owned guest-side timer register state (lazily created
+        #: by the arch's TimerHardware; None on x86).
+        self.hw_state = None
 
 
 class GuestKernel:
@@ -299,7 +302,7 @@ class GuestKernel:
                 seq.append(gops.Compute(self.costs.guest_irq_glue, K))
                 if eoi_trapped:
                     # Pre-APICv host: the handler's EOI write traps.
-                    seq.append(gops.Wrmsr(Msr.X2APIC_EOI, int(vector)))
+                    seq.append(self.hv.timerhw.guest_eoi_op(vector))
                 if vector is Vector.LOCAL_TIMER:
                     ctx.armed_deadline_ns = None  # the hardware deadline fired
                     self.policy.on_timer_irq(vidx)
@@ -374,8 +377,8 @@ class GuestKernel:
         ctx.armed_deadline_ns = desired
         self.trace_mark(vidx, "timer_program_req", desired)
         self.push(vidx, gops.Compute(self.costs.guest_timer_program, K))
-        value = 0 if desired is None else self.hv.tsc.clock.ns_to_cycles(max(desired, self.now() + 1))
-        self.push(vidx, gops.Wrmsr(Msr.TSC_DEADLINE, value))
+        for op in self.hv.timerhw.guest_deadline_ops(self, vidx, desired):
+            self.push(vidx, op)
 
     # =================================================================
     # Idle loop
@@ -609,9 +612,10 @@ class GuestKernel:
         if src is None or src == target_vidx:
             self._ctx[target_vidx].need_resched = True
             return
-        # Cross-vCPU wake: the waker sends a reschedule IPI (ICR write ->
-        # a VM exit on the waker; delivery cost lands on the target).
-        self.push(src, gops.Wrmsr(Msr.X2APIC_ICR, target_vidx * 256 + int(Vector.RESCHEDULE)))
+        # Cross-vCPU wake: the waker sends a reschedule IPI (a trapped
+        # ICR/SGI write -> a VM exit on the waker; delivery cost lands on
+        # the target).
+        self.push(src, self.hv.timerhw.guest_ipi_op(target_vidx, Vector.RESCHEDULE))
 
     def _task_done(self, task: Task) -> None:
         task.finished_ns = self.now()

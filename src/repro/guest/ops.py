@@ -68,6 +68,24 @@ class Wrmsr(GuestOp):
         return f"Wrmsr({self.index:#x}, {self.value})"
 
 
+class SysregWrite(GuestOp):
+    """Write a trapped system register (ARM MSR-to-sysreg instruction).
+
+    The ARM analogue of :class:`Wrmsr`: generic-timer (CNTV_*) and
+    GIC system-register accesses trap to EL2 when the hypervisor
+    intercepts them, causing a VM exit.
+    """
+
+    __slots__ = ("reg", "value")
+
+    def __init__(self, reg: int, value: int):
+        self.reg = reg
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"SysregWrite({self.reg:#x}, {self.value})"
+
+
 class Hlt(GuestOp):
     """Halt until the next interrupt — causes a VM exit and blocks the vCPU."""
 

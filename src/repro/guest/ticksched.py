@@ -24,7 +24,6 @@ from typing import TYPE_CHECKING
 from repro.errors import GuestError
 from repro.guest import ops as gops
 from repro.hw.cpu import CycleDomain
-from repro.hw.msr import Msr
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.guest.kernel import GuestKernel
@@ -77,23 +76,38 @@ class TickPolicy:
 class PeriodicPolicy(TickPolicy):
     """Classic periodic scheduler tick.
 
-    Boot programs the virtual LAPIC timer in periodic mode (one
-    TMICT write); thereafter the hypervisor delivers LOCAL_TIMER at the
-    fixed rate, waking the vCPU if it is halted — which is precisely why
-    §3.1 finds periodic ticks so costly on idle, overcommitted hosts.
+    On hardware with a self-reloading periodic mode (x86's virtual
+    LAPIC), boot programs it once (one TMICT write); thereafter the
+    hypervisor delivers LOCAL_TIMER at the fixed rate, waking the vCPU
+    if it is halted — which is precisely why §3.1 finds periodic ticks
+    so costly on idle, overcommitted hosts. On compare-value-only
+    hardware (ARM's CNTV), the kernel re-arms a one-shot at every tick
+    boundary from the tick handler, the way Linux's clockevents layer
+    emulates periodic mode on ONESHOT-only devices.
     """
 
     name = "periodic"
 
     def on_boot(self, vidx: int) -> None:
-        c = self.k.costs
-        self.k.push(vidx, gops.Compute(c.guest_timer_program, K))
-        self.k.push(vidx, gops.Wrmsr(Msr.X2APIC_TMICT, self.k.period_ns))
+        k = self.k
+        if k.hv.timerhw.has_periodic_mode:
+            k.push(vidx, gops.Compute(k.costs.guest_timer_program, K))
+            for op in k.hv.timerhw.guest_periodic_ops(k, vidx, k.period_ns):
+                k.push(vidx, op)
+        else:
+            period = k.period_ns
+            k.program_hw(vidx, (k.now() // period + 1) * period)
 
     def on_timer_irq(self, vidx: int) -> None:
         # Fig. 1a without the reprogramming step: periodic hardware
-        # re-fires by itself.
+        # re-fires by itself (or the one-shot emulation re-arms below).
         self.k.push_tick_work(vidx)
+        k = self.k
+        if not k.hv.timerhw.has_periodic_mode:
+            # LOCAL_TIMER delivery already cleared armed_deadline_ns, so
+            # this always programs the next boundary.
+            period = k.period_ns
+            k.program_hw(vidx, (k.now() // period + 1) * period)
 
     def on_idle_enter(self, vidx: int) -> None:
         """No tick management on idle entry — the tick just keeps firing."""

@@ -56,6 +56,19 @@ class CostModel:
     handler_pause: int = 1_000
     handler_ept: int = 7_000
 
+    # --- KVM/arm64 exit handlers --------------------------------------------
+    #: Trapped CNTV_CTL/CNTV_CVAL sysreg write (kvm_handle_sys_reg ->
+    #: the vtimer emulation). Trap decode on arm64 is cheaper than the
+    #: full x86 MSR path (arXiv 2206.00258's per-instruction timings).
+    handler_sysreg_cntv: int = 950
+    #: Trapped ICC_EOIR1 write on a pre-GICv4 host (no HW EOI bypass).
+    handler_sysreg_eoi: int = 800
+    #: Trapped ICC_SGI1R write (software-generated interrupt = IPI).
+    handler_sysreg_sgi: int = 2_200
+    #: Host-side handler for the guest's virtual generic timer firing in
+    #: guest mode (vtimer IRQ taken at EL2, kvm_arch_timer_handler).
+    handler_vtimer_irq: int = 1_500
+
     # --- Host scheduling / virtual APIC ------------------------------------
     #: Inject one interrupt into the guest at VM entry.
     inject_irq: int = 700
@@ -126,6 +139,8 @@ class CostModel:
             ExitReason.HYPERCALL: self.handler_hypercall,
             ExitReason.PAUSE: self.handler_pause,
             ExitReason.EPT_VIOLATION: self.handler_ept,
+            ExitReason.SYSREG_TRAP: self.handler_sysreg_cntv,
+            ExitReason.VTIMER_IRQ: self.handler_vtimer_irq,
         }[reason]
 
     def with_overrides(self, **kw: int) -> "CostModel":

@@ -31,6 +31,10 @@ class ExitReason(enum.Enum):
     PAUSE = "pause"
     #: EPT violation / page-fault class exits (background noise).
     EPT_VIOLATION = "ept_violation"
+    #: ARM: guest accessed a trapped system register (CNTV_*, GIC ICC_*).
+    SYSREG_TRAP = "sysreg_trap"
+    #: ARM: the virtual generic timer (vtimer) fired while in guest mode.
+    VTIMER_IRQ = "vtimer_irq"
 
 
 class ExitTag(enum.Enum):

@@ -37,8 +37,8 @@ from repro.hw.cpu import CycleDomain, Machine
 from repro.hw.interrupts import Vector
 from repro.hw.iodev import IoRequest
 from repro.hw.lapic import LapicTimer
-from repro.hw.msr import Msr
 from repro.hw.preemption import PreemptionTimer
+from repro.hw.timerhw import make_timer_hardware
 from repro.hw.tsc import Tsc
 from repro.host.costs import DEFAULT_COSTS, CostModel
 from repro.host.exitreasons import ExitReason, ExitTag
@@ -124,12 +124,15 @@ class Hypervisor:
         *,
         costs: CostModel = DEFAULT_COSTS,
         features: HostFeatures = HostFeatures(),
+        arch: str = "x86",
     ):
         self.sim = sim
         self.machine = machine
         self.costs = costs
         self.features = features
         self.tsc = Tsc(sim, machine.clock)
+        self.arch = arch
+        self.timerhw = make_timer_hardware(arch, self)
         self.sched = HostScheduler(machine.spec.total_cpus)
         self.vms: list[VirtualMachine] = []
         self._host_tick_events: dict[int, object] = {}
@@ -139,6 +142,11 @@ class Hypervisor:
 
     def create_vm(self, spec: VmSpec) -> VirtualMachine:
         """Create a VM, placing its vCPUs on physical CPUs."""
+        if spec.arch != self.arch:
+            raise HostError(
+                f"VM {spec.name}: arch {spec.arch!r} does not match "
+                f"hypervisor arch {self.arch!r}"
+            )
         cpus = spec.pinned_cpus
         if cpus is None:
             total = self.machine.spec.total_cpus
@@ -403,6 +411,7 @@ class _VcpuExec:
         "_frozen_from",
         "_frozen_hostdl",
         "_frozen_vlapic_left",
+        "timerhw_state",
     )
 
     def __init__(self, hv: Hypervisor, vm: VirtualMachine, vcpu: VCpu):
@@ -436,6 +445,9 @@ class _VcpuExec:
         self._frozen_hostdl = False
         #: Remaining ns of the paused vLAPIC period at freeze, if any.
         self._frozen_vlapic_left: Optional[int] = None
+        #: Backend-owned host-side timer register state (lazily created
+        #: by the arch's TimerHardware.decode; None on x86).
+        self.timerhw_state = None
 
     def _trace(self, kind: str, detail=None, *, suffix: str = "") -> None:
         """Emit a structured event for this vCPU (callers building tuple
@@ -684,37 +696,16 @@ class _VcpuExec:
     # ------------------------------------------------------------- VM exits
 
     def _sync_exit(self, op: gops.GuestOp) -> None:
-        """Take a synchronous exit for an intercepted instruction."""
+        """Take a synchronous exit for an intercepted instruction.
+
+        Timer/interrupt-controller register writes are decoded by the
+        architecture's :class:`repro.hw.timerhw.TimerHardware`; the
+        arch-neutral ops (HLT, IO, hypercall, ...) are handled here.
+        """
         c = self.costs
-        if isinstance(op, gops.Wrmsr):
-            if op.index == Msr.TSC_DEADLINE:
-                self._begin_exit(
-                    ExitReason.MSR_WRITE,
-                    ExitTag.TIMER_PROGRAM,
-                    c.handler_msr_tsc_deadline,
-                    lambda: self._apply_deadline(op.value),
-                )
-            elif op.index == Msr.X2APIC_TMICT:
-                # Virtual LAPIC in periodic mode: KVM emulates the
-                # repeating timer host-side (classic periodic ticks, §3.1).
-                self._begin_exit(
-                    ExitReason.MSR_WRITE,
-                    ExitTag.TIMER_PROGRAM,
-                    c.handler_msr_tsc_deadline,
-                    lambda: self._start_virtual_periodic(op.value),
-                )
-            elif op.index == Msr.X2APIC_EOI:
-                self._begin_exit(ExitReason.MSR_WRITE, ExitTag.EOI, c.handler_msr_eoi, None)
-            elif op.index == Msr.X2APIC_ICR:
-                dest, vector = divmod(op.value, 256)
-                self._begin_exit(
-                    ExitReason.MSR_WRITE,
-                    ExitTag.IPI,
-                    c.handler_msr_icr,
-                    lambda: self.hv.send_ipi(self.vm, self.vcpu, dest, Vector(vector)),
-                )
-            else:
-                self._begin_exit(ExitReason.MSR_WRITE, ExitTag.OTHER, c.handler_msr_tsc_deadline, None)
+        decoded = self.hv.timerhw.decode(self, op)
+        if decoded is not None:
+            self._begin_exit(*decoded)
         elif isinstance(op, gops.Hlt):
             self._begin_exit(ExitReason.HLT, ExitTag.IDLE, c.handler_hlt, None, then=self._halt)
         elif isinstance(op, gops.IoKick):
@@ -993,6 +984,7 @@ class _VcpuExec:
         if vcpu.state is not VcpuState.GUEST:
             raise HostError("preemption timer fired outside guest mode")
         self._cancel_cur()
+        reason, cost = self.hv.timerhw.deadline_fire_exit(self.costs)
         gd = vcpu.guest_deadline_ns
         if gd is not None and self.sim.now >= gd:
             # The guest's own deadline passed: consume it, inject its
@@ -1001,21 +993,11 @@ class _VcpuExec:
             if self.sim.trace.enabled:
                 self._trace("deadline_fire", (gd, "ptimer"))
             vcpu.post_irq(Vector.LOCAL_TIMER)
-            self._begin_exit(
-                ExitReason.PREEMPTION_TIMER,
-                ExitTag.TIMER_GUEST_TICK,
-                self.costs.handler_preemption_timer,
-                None,
-            )
+            self._begin_exit(reason, ExitTag.TIMER_GUEST_TICK, cost, None)
             return
         # Rate-adaptation backstop: no guest deadline was due; the exit
         # exists purely so the entry hook can inject a virtual tick.
-        self._begin_exit(
-            ExitReason.PREEMPTION_TIMER,
-            ExitTag.TIMER_HOST_TICK,
-            self.costs.handler_preemption_timer,
-            None,
-        )
+        self._begin_exit(reason, ExitTag.TIMER_HOST_TICK, cost, None)
 
     def host_tick_interrupt(self, *, preempt: bool) -> None:
         """The host scheduler tick fired on our physical CPU."""

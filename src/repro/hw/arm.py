@@ -1,0 +1,235 @@
+"""ARM generic-timer backend (ROADMAP item 4).
+
+The ARM world's timer hardware differs from x86 in exactly the ways
+that matter for paratick's exit budget:
+
+* The timer is a **compare-value unit integrated with the CPU** — the
+  virtual generic timer (vtimer). The guest arms it by writing the
+  compare value ``CNTV_CVAL_EL0`` and enabling it via ``CNTV_CTL_EL0``;
+  there is no self-reloading periodic mode, so a "periodic" tick is the
+  kernel re-arming a one-shot every period (Linux clockevents ONESHOT
+  emulation — see :class:`repro.guest.ticksched.PeriodicPolicy`).
+* Register accesses are **trapped system-register instructions**, not
+  MSR/MMIO writes. Trap decode at EL2 is cheaper than the x86 MSR exit
+  path (arXiv 2206.00258 measures per-hypervisor-instruction costs);
+  the default :class:`repro.host.costs.CostModel` encodes that with the
+  ``handler_sysreg_*`` fields.
+* Expiry in guest mode raises the **vtimer's own IRQ at EL2**
+  (:attr:`ExitReason.VTIMER_IRQ`) rather than a VMX preemption-timer
+  exit. The simulation reuses the generic
+  :class:`repro.hw.preemption.PreemptionTimer` deadline machinery —
+  only the exit reason and handler cost differ.
+* ``CNTVCT_EL0`` (the virtual count) reads **without trapping**, like
+  x86's RDTSC; KVM keeps it consistent across migration with a vtimer
+  offset, which is how guest clock-drift perturbations are translated
+  back to host time here (mirroring x86's ``_apply_deadline``).
+
+Linux's arm64 arch timer driver keeps ``CNTV_CTL.ENABLE`` set across
+fires and re-arms by writing only ``CVAL`` — so the steady-state tick
+costs one trap, while the first arm (and any disarm) costs the extra
+CTL write. :class:`ArmTimerHardware` models exactly that, which is what
+makes the ARM/x86 exit-economics comparison interesting: programming is
+cheaper, but there is no LAPIC periodic mode to hide behind.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.errors import HardwareError
+from repro.guest import ops as gops
+from repro.host.exitreasons import ExitReason, ExitTag
+from repro.hw.interrupts import Vector
+from repro.hw.timerhw import TimerHardware
+from repro.sim.engine import Simulator
+from repro.sim.timebase import CpuClock
+
+
+class Sysreg(enum.IntEnum):
+    """Trapped system registers the simulation intercepts.
+
+    Values are symbolic small integers — the real arm64 encodings
+    (op0/op1/CRn/CRm/op2 tuples) are not load-bearing for the model.
+    """
+
+    #: Virtual timer control (ENABLE/IMASK/ISTATUS bits; we model bit 0).
+    CNTV_CTL = 0x01
+    #: Virtual timer compare value (absolute CNTVCT count).
+    CNTV_CVAL = 0x02
+    #: Virtual count (reads untrapped; listed for completeness).
+    CNTVCT = 0x03
+    #: GIC CPU-interface end-of-interrupt register.
+    ICC_EOIR1 = 0x10
+    #: GIC software-generated-interrupt (IPI) register.
+    ICC_SGI1R = 0x11
+
+
+class ArmGenericTimer:
+    """The virtual generic timer's counter: CNTVCT at nominal frequency.
+
+    Mirrors :class:`repro.hw.tsc.Tsc` — the model runs the generic
+    timer at the CPU's nominal frequency rather than a separate
+    CNTFRQ, so cycle arithmetic is shared with the rest of the machine.
+    """
+
+    __slots__ = ("_sim", "clock")
+
+    def __init__(self, sim: Simulator, clock: CpuClock):
+        self._sim = sim
+        self.clock = clock
+
+    def read(self) -> int:
+        """Current CNTVCT value (untrapped read)."""
+        return self.clock.ns_to_cycles(self._sim.now)
+
+    def cval_to_ns(self, cval: int) -> int:
+        """Absolute sim time (ns) at which ``cval`` is reached.
+
+        A compare value at or before the current count has its
+        condition already met — the IRQ asserts at once (ARM ARM:
+        ``CNTVCT >= CVAL`` levels the interrupt), so it maps to now.
+        """
+        if cval < 0:
+            raise HardwareError(f"negative CNTV_CVAL: {cval}")
+        now_cnt = self.read()
+        if cval <= now_cnt:
+            return self._sim.now
+        return -(-cval * 1_000_000_000 // self.clock.freq_hz)
+
+
+class _GuestVtimerState:
+    """Guest-side view of its vtimer registers (lives in VcpuCtx.hw_state)."""
+
+    __slots__ = ("ctl_enabled",)
+
+    def __init__(self):
+        self.ctl_enabled = False
+
+
+class _HostVtimerState:
+    """Host-side vtimer emulation state (lives in _VcpuExec.timerhw_state)."""
+
+    __slots__ = ("cval_ns", "enabled")
+
+    def __init__(self):
+        self.cval_ns: Optional[int] = None
+        self.enabled = False
+
+
+class ArmTimerHardware(TimerHardware):
+    """ARM generic timer + GIC system-register interface."""
+
+    arch = "arm"
+    has_periodic_mode = False
+
+    def __init__(self, sim: Simulator, clock: CpuClock):
+        self.timer = ArmGenericTimer(sim, clock)
+
+    # ------------------------------------------------- guest-side emission
+
+    def _guest_state(self, kernel, vidx) -> _GuestVtimerState:
+        ctx = kernel.ctx(vidx)
+        if ctx.hw_state is None:
+            ctx.hw_state = _GuestVtimerState()
+        return ctx.hw_state
+
+    def guest_deadline_ops(self, kernel, vidx, desired):
+        state = self._guest_state(kernel, vidx)
+        if desired is None:
+            # Disarm: clear ENABLE (Linux sets CTL=0 on shutdown).
+            state.ctl_enabled = False
+            return (gops.SysregWrite(Sysreg.CNTV_CTL, 0),)
+        value = self.timer.clock.ns_to_cycles(max(desired, kernel.now() + 1))
+        if state.ctl_enabled:
+            # Steady state: ENABLE stays set across fires; re-arming is
+            # a single CVAL write (the cheap path Linux relies on).
+            return (gops.SysregWrite(Sysreg.CNTV_CVAL, value),)
+        state.ctl_enabled = True
+        return (
+            gops.SysregWrite(Sysreg.CNTV_CVAL, value),
+            gops.SysregWrite(Sysreg.CNTV_CTL, 1),
+        )
+
+    def guest_periodic_ops(self, kernel, vidx, period_ns):
+        raise HardwareError("ARM generic timer has no periodic mode")
+
+    def guest_eoi_op(self, vector):
+        return gops.SysregWrite(Sysreg.ICC_EOIR1, int(vector))
+
+    def guest_ipi_op(self, target_vidx, vector):
+        return gops.SysregWrite(Sysreg.ICC_SGI1R, target_vidx * 256 + int(vector))
+
+    # --------------------------------------------------- host-side decode
+
+    def _host_state(self, execu) -> _HostVtimerState:
+        if execu.timerhw_state is None:
+            execu.timerhw_state = _HostVtimerState()
+        return execu.timerhw_state
+
+    def decode(self, execu, op):
+        if not isinstance(op, gops.SysregWrite):
+            return None
+        c = execu.costs
+        if op.reg == Sysreg.CNTV_CVAL:
+            return (
+                ExitReason.SYSREG_TRAP,
+                ExitTag.TIMER_PROGRAM,
+                c.handler_sysreg_cntv,
+                lambda: self._apply_cval(execu, op.value),
+            )
+        if op.reg == Sysreg.CNTV_CTL:
+            return (
+                ExitReason.SYSREG_TRAP,
+                ExitTag.TIMER_PROGRAM,
+                c.handler_sysreg_cntv,
+                lambda: self._apply_ctl(execu, op.value),
+            )
+        if op.reg == Sysreg.ICC_EOIR1:
+            return (ExitReason.SYSREG_TRAP, ExitTag.EOI, c.handler_sysreg_eoi, None)
+        if op.reg == Sysreg.ICC_SGI1R:
+            dest, vector = divmod(op.value, 256)
+            return (
+                ExitReason.SYSREG_TRAP,
+                ExitTag.IPI,
+                c.handler_sysreg_sgi,
+                lambda: execu.hv.send_ipi(execu.vm, execu.vcpu, dest, Vector(vector)),
+            )
+        return (ExitReason.SYSREG_TRAP, ExitTag.OTHER, c.handler_sysreg_cntv, None)
+
+    def deadline_fire_exit(self, costs):
+        return (ExitReason.VTIMER_IRQ, costs.handler_vtimer_irq)
+
+    # ------------------------------------------------- vtimer emulation
+
+    def _apply_cval(self, execu, cval: int) -> None:
+        """KVM's CNTV_CVAL write handler: latch the compare value and,
+        if the timer is enabled, (re)program the vCPU's deadline."""
+        st = self._host_state(execu)
+        deadline = self.timer.cval_to_ns(cval)
+        offset = execu.vm.guest_clock_offset_ns
+        if offset:
+            # vtimer offset: the guest computed this compare value on
+            # its drifted view of CNTVCT; translate to the host
+            # timeline, clamped so it never lands in the past.
+            deadline = max(deadline - offset, execu.sim.now)
+        st.cval_ns = deadline
+        execu._trace("cntv_cval", deadline)
+        if st.enabled:
+            execu.vcpu.guest_deadline_ns = deadline
+            execu._trace("deadline_set", deadline)
+
+    def _apply_ctl(self, execu, value: int) -> None:
+        """KVM's CNTV_CTL write handler: ENABLE bit gates the deadline."""
+        st = self._host_state(execu)
+        st.enabled = bool(value & 1)
+        execu._trace("cntv_ctl", value & 1)
+        if st.enabled:
+            if st.cval_ns is not None:
+                execu.vcpu.guest_deadline_ns = st.cval_ns
+                execu._trace("deadline_set", st.cval_ns)
+        else:
+            st.cval_ns = None
+            execu.vcpu.guest_deadline_ns = None
+            execu.preempt_timer.clear()
+            execu._trace("deadline_clear")

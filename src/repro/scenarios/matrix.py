@@ -1,8 +1,8 @@
 """Scenario-matrix DSL: declarative experiment grids with perturbations.
 
-A *matrix file* (TOML or YAML) names options along seven axes —
+A *matrix file* (TOML or YAML) names options along eight axes —
 
-    workload x mode x placement x stress x host_timer x perturb x fleet
+    workload x mode x arch x placement x stress x host_timer x perturb x fleet
 
 — plus a seed list, and expands their Cartesian product into
 :class:`Cell` objects, each carrying a stable human-readable **cell ID**
@@ -41,6 +41,8 @@ Axis options resolve through *named definition tables* (``[workloads.X]``,
 ``[perturbs.X]``) or through built-ins:
 
 * ``mode`` — ``periodic`` / ``tickless`` / ``paratick``;
+* ``arch`` — ``x86`` (default) or ``arm``: the timer architecture both
+  the guests and the hypervisor simulate (:mod:`repro.hw.timerhw`);
 * ``placement`` — ``solo`` (1:1 pinned) or ``oc<K>`` (K vCPUs share
   each physical CPU); a ``[placements.X]`` table may give ``pcpus``
   explicitly;
@@ -86,7 +88,10 @@ from repro.host.perturb import Perturbation
 from repro.sim.timebase import MSEC, USEC
 
 #: Fixed axis order (expansion order and cell-ID part order).
-AXES = ("workload", "mode", "placement", "stress", "host_timer", "perturb", "fleet")
+AXES = ("workload", "mode", "arch", "placement", "stress", "host_timer", "perturb", "fleet")
+
+#: Recognised timer architectures (see :mod:`repro.hw.timerhw`).
+ARCH_OPTIONS = ("x86", "arm")
 
 #: Axes that always contribute a cell-ID part, even with one option.
 ALWAYS_IN_ID = ("workload", "mode")
@@ -169,7 +174,7 @@ class Matrix:
         unknown = set(axes_doc) - set(AXES)
         if unknown:
             raise ConfigError(f"{origin}: unknown axes {sorted(unknown)} (know {AXES})")
-        defaults = {"placement": ["solo"], "stress": ["none"],
+        defaults = {"arch": ["x86"], "placement": ["solo"], "stress": ["none"],
                     "host_timer": ["hz250"], "perturb": ["none"],
                     "fleet": ["none"]}
         self.axes: dict[str, tuple[str, ...]] = {}
@@ -183,6 +188,11 @@ class Matrix:
             if len(set(options)) != len(options):
                 raise ConfigError(f"{origin}: axis {axis!r} repeats an option")
             self.axes[axis] = tuple(options)
+        for a in self.axes["arch"]:
+            if a not in ARCH_OPTIONS:
+                raise ConfigError(
+                    f"{origin}: unknown arch {a!r} (know {ARCH_OPTIONS})"
+                )
 
         self._workloads: dict = doc.get("workloads", {})
         self._placements: dict = doc.get("placements", {})
@@ -410,6 +420,7 @@ class Matrix:
             cpuidle=cpuidle,
             horizon_ns=self.horizon_ns,
             perturbations=self._resolved_perturbs[coords["perturb"]],
+            arch=coords["arch"],
             label=cid,
         )
 
@@ -443,6 +454,7 @@ class Matrix:
             cpuidle=cpuidle,
             horizon_ns=self.horizon_ns,
             perturbations=self._resolved_perturbs[coords["perturb"]],
+            arch=coords["arch"],
             label=cid,
         )
 

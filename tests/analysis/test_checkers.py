@@ -340,7 +340,7 @@ class TestSanitizerPlumbing:
         names = {c.name for c in default_checkers()}
         assert names == {
             "schema", "vcpu-state", "preemption-timer", "lapic",
-            "guest-deadline", "tick-sched", "inject",
+            "guest-deadline", "cntv", "tick-sched", "inject",
             "suspend-span", "restore-rearm", "hotplug",
         }
 

@@ -1,0 +1,169 @@
+"""Mutation self-tests for the CNTV (ARM generic timer) checker.
+
+Same discipline as ``test_checkers.py``: each test breaks exactly one
+invariant of the trapped-write → deadline → vtimer-IRQ pairing in a
+synthetic stream and asserts that precisely the ``cntv`` checker fires.
+The legal streams mirror what :class:`repro.hw.arm.ArmTimerHardware`
+actually emits: first arm is CVAL then CTL=1 (two traps), steady-state
+re-arm is a lone CVAL write, disarm is CTL=0, and every trap applies
+synchronously as a ``deadline_set``/``deadline_clear`` at the same
+instant.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.checkers import TickSanitizer
+
+VCPU = "vm0/vcpu0"
+
+
+def run_stream(records, mode=None) -> TickSanitizer:
+    sanitizer = TickSanitizer(mode=mode)
+    for time, source, kind, detail in records:
+        sanitizer.emit(time, source, kind, detail)
+    sanitizer.finish()
+    return sanitizer
+
+
+def firing(sanitizer) -> set[str]:
+    return {v.checker for v in sanitizer.violations}
+
+
+# The canonical ARM arm/re-arm/disarm/fire cycle, exactly as the
+# backend traces it.
+FIRST_ARM = [
+    (0, VCPU, "cntv_cval", 100),          # CVAL latched, ENABLE still clear
+    (1, VCPU, "cntv_ctl", 1),             # ENABLE set ...
+    (1, VCPU, "deadline_set", 100),       # ... applies the latched CVAL
+]
+STEADY_REARM = [
+    (120, VCPU, "cntv_cval", 300),        # lone CVAL write while enabled ...
+    (120, VCPU, "deadline_set", 300),     # ... applies at the same instant
+]
+DISARM = [
+    (150, VCPU, "cntv_ctl", 0),
+    (150, VCPU, "deadline_clear", None),
+]
+
+
+class TestLegalStreams:
+    def test_full_cycle_is_clean(self):
+        fire = [(100, VCPU, "vmexit", ("vtimer_irq", "timer_guest_tick"))]
+        s = run_stream(FIRST_ARM + fire + STEADY_REARM + DISARM)
+        assert s.violations == []
+        cntv = next(c for c in s.checkers if c.name == "cntv")
+        assert cntv.seen > 0
+
+    def test_disarm_while_idle_is_legal(self):
+        s = run_stream([
+            (0, VCPU, "cntv_ctl", 0),
+            (0, VCPU, "deadline_clear", None),
+        ])
+        assert s.violations == []
+
+    def test_backstop_fire_needs_no_armed_vtimer(self):
+        """A TIMER_HOST_TICK vtimer exit is the paratick rate-adaptation
+        backstop — it exists to inject a virtual tick, not to deliver a
+        guest deadline, so no armed CVAL is required."""
+        s = run_stream(FIRST_ARM + DISARM + [
+            (200, VCPU, "vmexit", ("vtimer_irq", "timer_host_tick")),
+        ])
+        assert s.violations == []
+
+    def test_x86_stream_never_engages_the_checker(self):
+        s = run_stream([
+            (0, VCPU, "deadline_set", 100),
+            (100, VCPU, "deadline_fire", (100, "ptimer")),
+        ])
+        assert s.violations == []
+        cntv = next(c for c in s.checkers if c.name == "cntv")
+        assert cntv.seen == 0
+
+
+class TestTrapApplicationMutations:
+    def test_enabled_cval_write_never_applied(self):
+        s = run_stream(FIRST_ARM + [(120, VCPU, "cntv_cval", 300)])
+        assert firing(s) == {"cntv"}
+
+    def test_applied_value_mismatch(self):
+        s = run_stream(FIRST_ARM + [
+            (120, VCPU, "cntv_cval", 300),
+            (120, VCPU, "deadline_set", 999),  # KVM programmed the wrong expiry
+        ])
+        assert firing(s) == {"cntv"}
+
+    def test_applied_at_a_later_instant(self):
+        s = run_stream(FIRST_ARM + [
+            (120, VCPU, "cntv_cval", 300),
+            (125, VCPU, "deadline_set", 300),  # trap handling is synchronous
+        ])
+        assert firing(s) == {"cntv"}
+
+    def test_disable_applied_as_set(self):
+        s = run_stream(FIRST_ARM + [
+            (150, VCPU, "cntv_ctl", 0),
+            (150, VCPU, "deadline_set", 300),  # expected deadline_clear
+        ])
+        assert firing(s) == {"cntv"}
+
+    def test_deadline_set_without_any_trap(self):
+        s = run_stream(FIRST_ARM + STEADY_REARM + [
+            (130, VCPU, "deadline_set", 400),  # nothing else programs the vtimer
+        ])
+        assert firing(s) == {"cntv"}
+
+
+class TestEnableMutations:
+    def test_double_enable(self):
+        """Linux re-arms with a lone CVAL write; a second CTL.ENABLE=1
+        while already enabled is a policy bug."""
+        s = run_stream(FIRST_ARM + [
+            (50, VCPU, "cntv_ctl", 1),
+            (50, VCPU, "deadline_set", 100),
+        ])
+        assert firing(s) == {"cntv"}
+
+
+class TestFireMutations:
+    def test_fire_while_disabled(self):
+        s = run_stream(FIRST_ARM + DISARM + [
+            (200, VCPU, "vmexit", ("vtimer_irq", "timer_guest_tick")),
+        ])
+        assert firing(s) == {"cntv"}
+
+    def test_fire_before_cval_expiry(self):
+        s = run_stream(FIRST_ARM + [
+            (50, VCPU, "vmexit", ("vtimer_irq", "timer_guest_tick")),
+        ])
+        assert firing(s) == {"cntv"}
+
+    def test_fire_with_enable_but_no_cval(self):
+        s = run_stream([
+            (0, VCPU, "cntv_ctl", 1),     # ENABLE without ever latching CVAL
+            (100, VCPU, "vmexit", ("vtimer_irq", "timer_guest_tick")),
+        ])
+        assert firing(s) == {"cntv"}
+
+
+class TestSchemaInteraction:
+    def test_malformed_ctl_bit_is_schema_not_cntv(self):
+        """A CTL detail outside {0, 1} is a schema violation; the cntv
+        checker must skip the malformed record, not model it."""
+        s = run_stream([(0, VCPU, "cntv_ctl", 7)])
+        assert firing(s) == {"schema"}
+
+    def test_malformed_cval_is_schema_not_cntv(self):
+        s = run_stream([(0, VCPU, "cntv_cval", -5)])
+        assert firing(s) == {"schema"}
+
+
+class TestRestoreInteraction:
+    def test_stale_cval_after_restore_fires_restore_checker(self):
+        """RestoreMonotonicChecker watches ``cntv_cval`` like the other
+        arm kinds: a host-translated expiry predating the restore
+        instant is a stale deadline surviving the clock jump."""
+        s = run_stream([
+            (1000, "vm0", "vm_restore", 500_000),
+            (1001, VCPU, "cntv_cval", 900),  # expiry before the restore
+        ])
+        assert firing(s) == {"restore-rearm"}

@@ -1,0 +1,175 @@
+"""Cross-architecture differential battery (x86 vs ARM generic timer).
+
+The :mod:`repro.hw.timerhw` seam lets the same guest/hypervisor stack
+run on two completely different timer architectures. These tests pin
+the contract that makes that seam sound:
+
+* **work equivalence** — over a fixed seed corpus, useful (GUEST_USER)
+  cycles agree between backends in every tick mode: the timer hardware
+  changes the overhead, never the work;
+* **taxonomy invariants** — each backend stays inside its own exit
+  vocabulary: zero MSR-write / preemption-timer exits on ARM, zero
+  sysreg-trap / vtimer-IRQ exits on x86, and the mode-defining exits
+  (tickless deadline programming, paratick's single hypercall) appear
+  on both;
+* **backend unit behaviour** — CVAL↔ns translation edges, the
+  arch/hypervisor handshake, and spec validation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.checkers import TickSanitizer
+from repro.analysis.fuzz import ARCH_SWEEP, fuzz_seed_arch
+from repro.config import TickMode, VmSpec
+from repro.errors import ConfigError, HardwareError, HostError
+from repro.experiments.runner import run_workload
+from repro.host.exitreasons import ExitReason
+from repro.workloads.micro import IdlePeriodWorkload, SyncStormWorkload
+
+MODES = list(TickMode)
+
+#: Fixed seed corpus for the differential property (small but varied:
+#: the fuzz scenario expansion maps these to all four workload kinds).
+SEED_CORPUS = (0, 1, 2, 5, 8, 13)
+
+#: Reasons that must never appear on the other backend.
+FOREIGN = {
+    "x86": (ExitReason.SYSREG_TRAP, ExitReason.VTIMER_IRQ),
+    "arm": (ExitReason.MSR_WRITE, ExitReason.PREEMPTION_TIMER),
+}
+
+
+def _run(arch: str, mode: TickMode, *, seed: int = 7, sanitize: bool = False):
+    tracer = TickSanitizer(mode=mode) if sanitize else None
+    metrics = run_workload(
+        SyncStormWorkload(threads=2, events_per_second=800.0,
+                          duration_cycles=20_000_000),
+        tick_mode=mode, seed=seed, arch=arch, tracer=tracer,
+        label=f"archdiff/{arch}/{mode.value}",
+    )
+    return metrics, tracer
+
+
+class TestWorkEquivalence:
+    @pytest.mark.parametrize("mode", MODES, ids=[m.value for m in MODES])
+    def test_useful_cycles_identical_across_backends(self, mode):
+        """For a pinned solo workload the equivalence is exact, not just
+        within tolerance: the backends program different hardware but
+        the guest performs bit-identical work."""
+        per_arch = {arch: _run(arch, mode)[0] for arch in ARCH_SWEEP}
+        useful = {arch: m.useful_cycles for arch, m in per_arch.items()}
+        assert len(set(useful.values())) == 1, f"useful cycles diverged: {useful}"
+
+    @pytest.mark.parametrize("seed", SEED_CORPUS)
+    def test_seed_corpus_clean(self, seed):
+        """The full fuzz-grade sweep — sanitizer + reconcile + arch
+        diff — holds over the fixed corpus."""
+        report = fuzz_seed_arch(seed)
+        assert report.ok, "\n".join(report.problems)
+
+
+class TestTaxonomyInvariants:
+    @pytest.mark.parametrize("arch", ARCH_SWEEP)
+    @pytest.mark.parametrize("mode", MODES, ids=[m.value for m in MODES])
+    def test_no_foreign_exit_reasons(self, arch, mode):
+        metrics, _ = _run(arch, mode)
+        for reason in FOREIGN[arch]:
+            assert metrics.exits.by_reason(reason) == 0, (
+                f"{arch}/{mode.value}: {reason.value} is foreign to this backend"
+            )
+
+    @pytest.mark.parametrize("mode", MODES, ids=[m.value for m in MODES])
+    def test_arm_programs_timers_via_sysreg_traps(self, mode):
+        metrics, _ = _run("arm", mode)
+        assert metrics.exits.by_reason(ExitReason.SYSREG_TRAP) > 0
+
+    def test_arm_tick_delivery_is_vtimer_irq(self):
+        metrics, _ = _run("arm", TickMode.TICKLESS)
+        assert metrics.exits.by_reason(ExitReason.VTIMER_IRQ) > 0
+
+    @pytest.mark.parametrize("arch", ARCH_SWEEP)
+    def test_paratick_hypercall_on_both_backends(self, arch):
+        """HC_PARATICK_SET_PERIOD is architecture-independent — the
+        paravirtual protocol rides whatever hypercall ABI the arch has."""
+        metrics, _ = _run(arch, TickMode.PARATICK)
+        assert metrics.exits.by_reason(ExitReason.HYPERCALL) == 1
+
+    @pytest.mark.parametrize("arch", ARCH_SWEEP)
+    @pytest.mark.parametrize("mode", MODES, ids=[m.value for m in MODES])
+    def test_sanitizer_clean_on_both_backends(self, arch, mode):
+        _, tracer = _run(arch, mode, sanitize=True)
+        violations = tracer.finish()
+        assert not violations, violations[:5]
+        cntv = next(c for c in tracer.checkers if c.name == "cntv")
+        if arch == "arm":
+            assert cntv.seen > 0, "CNTV checker never engaged on an ARM trace"
+        else:
+            assert cntv.seen == 0, "CNTV checker engaged on an x86 trace"
+
+
+class TestBackendUnits:
+    def test_unknown_arch_rejected_by_vmspec(self):
+        with pytest.raises(ConfigError, match="unknown arch"):
+            VmSpec(name="vm0", vcpus=1, tick_mode=TickMode.TICKLESS, arch="riscv")
+
+    def test_unknown_arch_rejected_by_factory(self):
+        from repro.hw.timerhw import make_timer_hardware
+
+        with pytest.raises(ConfigError, match="unknown timer architecture"):
+            make_timer_hardware("riscv", hv=None)
+
+    def test_vm_arch_must_match_hypervisor(self):
+        from repro.host.costs import DEFAULT_COSTS
+        from repro.host.kvm import Hypervisor
+        from repro.hw.cpu import Machine
+        from repro.config import MachineSpec
+        from repro.sim.engine import Simulator
+
+        sim = Simulator(seed=0)
+        machine = Machine(sim, MachineSpec(sockets=1, cpus_per_socket=1))
+        hv = Hypervisor(sim, machine, costs=DEFAULT_COSTS, arch="x86")
+        with pytest.raises(HostError, match="does not match hypervisor arch"):
+            hv.create_vm(VmSpec(name="vm0", vcpus=1,
+                                tick_mode=TickMode.TICKLESS, arch="arm"))
+
+    def test_cval_translation_edges(self):
+        from repro.config import MachineSpec
+        from repro.hw.arm import ArmGenericTimer
+        from repro.hw.cpu import Machine
+        from repro.sim.engine import Simulator
+
+        sim = Simulator(seed=0)
+        machine = Machine(sim, MachineSpec(sockets=1, cpus_per_socket=1))
+        timer = ArmGenericTimer(sim, machine.clock)
+        # A CVAL in the past clamps to "fire now", like a real vtimer
+        # asserting its IRQ line immediately.
+        sim.schedule(1000, lambda: None)
+        sim.run(until=1000)
+        past = timer.clock.ns_to_cycles(1)
+        assert timer.cval_to_ns(past) == sim.now
+        # Round-trip of a future deadline is exact at ns resolution.
+        future_ns = 123_456
+        cval = timer.clock.ns_to_cycles(future_ns)
+        assert timer.cval_to_ns(cval) >= future_ns
+        with pytest.raises(HardwareError):
+            timer.cval_to_ns(-1)
+
+    def test_arm_has_no_hardware_periodic_mode(self):
+        from repro.hw.timerhw import make_timer_hardware
+
+        class _Hv:
+            pass
+
+        from repro.config import MachineSpec
+        from repro.hw.cpu import Machine
+        from repro.sim.engine import Simulator
+
+        sim = Simulator(seed=0)
+        hv = _Hv()
+        hv.sim = sim
+        hv.machine = Machine(sim, MachineSpec(sockets=1, cpus_per_socket=1))
+        hw = make_timer_hardware("arm", hv)
+        assert hw.arch == "arm"
+        assert not hw.has_periodic_mode

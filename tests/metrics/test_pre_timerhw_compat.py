@@ -1,0 +1,53 @@
+"""Serialized-metrics compatibility across the TimerHardware refactor.
+
+``tests/fixtures/premetrics_pre_timerhw.json`` is a ``RunMetrics``
+JSON captured on the engine *before* the timer hardware was abstracted
+behind :mod:`repro.hw.timerhw` — its exit keys carry the x86 taxonomy
+(``msr_write``, ``preemption_timer``) as plain strings. The result
+cache and every saved experiment artifact store exactly this shape, so
+the refactor must keep loading it: enum values are the wire format, and
+adding the ARM reasons must never invalidate an old file.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.config import TickMode
+from repro.experiments.runner import run_workload
+from repro.host.exitreasons import ExitReason, ExitTag
+from repro.metrics.perf import RunMetrics
+from repro.workloads.micro import SyncStormWorkload
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+FIXTURE = REPO_ROOT / "tests" / "fixtures" / "premetrics_pre_timerhw.json"
+
+
+def _load() -> RunMetrics:
+    return RunMetrics.from_json_dict(json.loads(FIXTURE.read_text()))
+
+
+class TestPreRefactorJson:
+    def test_loads_and_rebuilds_enum_keys(self):
+        m = _load()
+        assert m.exits.by_reason(ExitReason.MSR_WRITE) == 14
+        assert m.exits.by_reason(ExitReason.PREEMPTION_TIMER) == 4
+        assert m.exits.by_tag(ExitTag.TIMER_PROGRAM) == 11
+        assert m.exits.total == 26
+        assert m.useful_cycles == 33_643_618
+
+    def test_round_trips_byte_identically(self):
+        data = json.loads(FIXTURE.read_text())
+        assert RunMetrics.from_json_dict(data).to_json_dict() == data
+
+    def test_post_refactor_run_reproduces_the_fixture(self):
+        """The exact run that produced the fixture, re-executed on the
+        refactored engine, still serializes to the same bytes — the
+        x86 decode path moved behind TimerHardware without drift."""
+        m = run_workload(
+            SyncStormWorkload(threads=2, events_per_second=800.0,
+                              duration_cycles=20_000_000),
+            tick_mode=TickMode.TICKLESS, seed=3, label="premetrics/tickless",
+        )
+        assert m.to_json_dict() == json.loads(FIXTURE.read_text())
